@@ -1,0 +1,63 @@
+"""Shared infrastructure for the paper-reproduction benchmark harness.
+
+Each benchmark file regenerates one table/figure of the paper at full
+experiment scale, prints the resulting table (run pytest with ``-s`` to
+see them; they are also written to ``benchmarks/output/``), and asserts
+the observation predicates that the paper derives from it.
+
+The pytest-benchmark timing measures the wall-clock cost of regenerating
+the artifact (one round — these are simulations, not microbenchmarks).
+Experiments shared between benchmarks (e.g. Fig. 6a/6b) run once per
+session via the ``results`` cache.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.core.report import EXPERIMENT_RUNNERS
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+class ResultsCache:
+    """Session-level store of experiment results keyed by experiment id."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self._results: dict[str, object] = {}
+
+    def get(self, exp_id: str, runner=None):
+        if exp_id not in self._results:
+            runner = runner or EXPERIMENT_RUNNERS()[exp_id]
+            self._results[exp_id] = runner(self.config)
+        return self._results[exp_id]
+
+    def peek(self, exp_id: str):
+        return self._results.get(exp_id)
+
+
+@pytest.fixture(scope="session")
+def results() -> ResultsCache:
+    return ResultsCache(ExperimentConfig())
+
+
+def emit(result) -> None:
+    """Print a result (table + chart) and persist under benchmarks/output/."""
+    from repro.core.figures import render_figure
+
+    text = result.table()
+    if result.series:
+        text += "\n\n" + render_figure(result)
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

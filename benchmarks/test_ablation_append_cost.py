@@ -1,0 +1,21 @@
+"""Ablation: the append command cost carries Obs #4 and Obs #6."""
+
+import pytest
+
+from repro.core.experiments.ablations import run_ablation_append_cost
+
+from conftest import emit, run_once
+
+
+def test_ablation_append_cost(benchmark, results):
+    result = run_once(benchmark, lambda: run_ablation_append_cost(results.config))
+    emit(result)
+    rows = result.rows
+    # With append == write cost (the NVMeVirt assumption), the plateau
+    # rises to the write cap — the paper's §IV failure mode.
+    assert rows[0]["plateau_kiops"] == pytest.approx(186, rel=0.05)
+    # The calibrated cost reproduces the 132 KIOPS plateau.
+    assert rows[1]["plateau_kiops"] == pytest.approx(132, rel=0.05)
+    # The latency gap grows monotonically with the cost.
+    gaps = [r["gap_pct"] for r in rows]
+    assert gaps == sorted(gaps)

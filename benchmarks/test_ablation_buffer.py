@@ -1,0 +1,17 @@
+"""Ablation: the write buffer drives the ZNS read tail (Obs #11 mechanism)."""
+
+import pytest
+
+from repro.core.experiments.ablations import run_ablation_buffer
+
+from conftest import emit, run_once
+
+
+def test_ablation_write_buffer_sets_read_tail(benchmark, results):
+    result = run_once(benchmark, lambda: run_ablation_buffer(results.config))
+    emit(result)
+    # p95 tracks buffer_bytes / program_bandwidth across a 8x sweep.
+    for row in result.rows:
+        assert row["read_p95_ms"] == pytest.approx(row["predicted_ms"], rel=0.15)
+    tails = result.column("read_p95_ms")
+    assert tails == sorted(tails)

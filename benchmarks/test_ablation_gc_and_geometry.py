@@ -1,0 +1,44 @@
+"""Ablations: GC die priority (conv) and flash parallelism sweep."""
+
+from repro.core.experiments.ablations import (
+    run_ablation_gc_priority,
+    run_ablation_geometry,
+    run_ablation_zone_size,
+)
+
+from conftest import emit, run_once
+
+
+def test_ablation_gc_priority(benchmark, results):
+    result = run_once(benchmark, lambda: run_ablation_gc_priority(results.config))
+    emit(result)
+    urgent = result.find(gc_priority="urgent")
+    plain = result.find(gc_priority="plain-io")
+    # Without urgency GC starves behind the buffered backlog and the FTL
+    # wedges at its reserve; with urgency it sustains collection.
+    assert plain["ftl_stalls"] == "yes"
+    assert urgent["ftl_stalls"] == "no"
+    assert urgent["gc_pages_copied"] > 2 * plain["gc_pages_copied"]
+
+
+def test_ablation_geometry(benchmark, results):
+    result = run_once(benchmark, lambda: run_ablation_geometry(results.config))
+    emit(result)
+    bws = result.column("write_bw_mibs")
+    reads = result.column("read_qd32_kiops")
+    # More channels x dies -> more bandwidth and read parallelism
+    # (the design-space exploration ConfZNS-style emulators target).
+    assert bws == sorted(bws)
+    assert reads == sorted(reads)
+    # Doubling dies at fixed channels doubles program bandwidth.
+    assert 1.8 < bws[2] / bws[1] < 2.2
+
+
+def test_ablation_zone_size(benchmark, results):
+    result = run_once(benchmark, lambda: run_ablation_zone_size(results.config))
+    emit(result)
+    # The large-zone device cannot open 28 zones; the small-zone device
+    # can, and still plateaus at the per-command append cap.
+    assert result.value("kiops", device="large-zone (ZN540)", zones=28) == "exceeds-open-limit"
+    small28 = result.value("kiops", device="small-zone", zones=28)
+    assert isinstance(small28, float) and 120 < small28 < 140

@@ -1,0 +1,17 @@
+"""Fig. 2a: append/write latency vs storage stack and LBA format (QD1)."""
+
+from repro.core.observations import check_obs1
+
+from conftest import emit, run_once
+
+
+def test_fig2a_lba_format(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig2a"))
+    emit(result)
+    # Paper: 4 KiB LBA format consistently outperforms 512 B, up to ~2x.
+    check = check_obs1(result)
+    assert check.passed, check.details
+    ratio = result.value(
+        "latency_us", lba_format="512B", stack="spdk", op="write"
+    ) / result.value("latency_us", lba_format="4KiB", stack="spdk", op="write")
+    assert 1.2 < ratio < 2.2

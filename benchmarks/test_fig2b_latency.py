@@ -1,0 +1,25 @@
+"""Fig. 2b: latencies at the optimal request sizes (4 KiB write / 8 KiB append)."""
+
+import pytest
+
+from repro.core.observations import check_obs2, check_obs4
+
+from conftest import emit, run_once
+
+
+def test_fig2b_optimal_request_latency(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig2b"))
+    emit(result)
+    for check in (check_obs2(result), check_obs4(result)):
+        assert check.passed, check.details
+    # Paper anchors: 11.36 us SPDK write, 14.02 us SPDK append,
+    # 12.62 us kernel/none, 14.47 us mq-deadline.
+    anchors = {
+        ("spdk", "write"): 11.36,
+        ("spdk", "append"): 14.02,
+        ("iouring-none", "write"): 12.62,
+        ("iouring-mq-deadline", "write"): 14.47,
+    }
+    for (stack, op), paper_us in anchors.items():
+        measured = result.value("latency_us", lba_format="4KiB", stack=stack, op=op)
+        assert measured == pytest.approx(paper_us, rel=0.03), (stack, op)

@@ -1,0 +1,21 @@
+"""Fig. 3: SPDK write/append throughput vs request size (QD1)."""
+
+import pytest
+
+from repro.core.observations import check_obs3
+
+from conftest import emit, run_once
+
+
+def test_fig3_request_size_sweep(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig3"))
+    emit(result)
+    check = check_obs3(result)
+    assert check.passed, check.details
+    # Paper: writes peak ~85 KIOPS at 4 KiB; appends improve 66 -> 69 K
+    # from 4 to 8 KiB; large requests approach the device byte limit.
+    assert result.value("kiops", op="write", request_kib=4) == pytest.approx(88, rel=0.08)
+    assert result.value("kiops", op="append", request_kib=4) == pytest.approx(66, rel=0.08)
+    assert result.value("kiops", op="append", request_kib=8) == pytest.approx(69, rel=0.08)
+    big_bw = result.value("bandwidth_mibs", op="write", request_kib=128)
+    assert big_bw == pytest.approx(1_155, rel=0.05)

@@ -1,0 +1,20 @@
+"""Fig. 4a: intra-zone scalability (4 KiB, one zone, variable QD)."""
+
+import pytest
+
+from repro.core.observations import check_obs7
+
+from conftest import emit, run_once
+
+
+def test_fig4a_intra_zone_scalability(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig4a"))
+    emit(result)
+    check = check_obs7(result)
+    assert check.passed, check.details
+    # Paper: appends saturate ~132 KIOPS at QD4; merged writes reach
+    # 293 KIOPS at QD32; reads reach 424 KIOPS at high QD.
+    assert result.value("kiops", op="append", qd=4) == pytest.approx(132, rel=0.05)
+    assert result.value("kiops", op="write", qd=32) == pytest.approx(293, rel=0.05)
+    read_peak = max(v for _, v in result.series["read"])
+    assert read_peak == pytest.approx(424, rel=0.12)

@@ -1,0 +1,18 @@
+"""Fig. 4b: inter-zone scalability (4 KiB, QD1 per zone, variable zones)."""
+
+import pytest
+
+from repro.core.observations import check_obs5, check_obs6
+
+from conftest import emit, run_once
+
+
+def test_fig4b_inter_zone_scalability(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig4b"))
+    emit(result)
+    fig4a = results.get("fig4a")
+    for check in (check_obs5(fig4a, result), check_obs6(fig4a, result)):
+        assert check.passed, check.details
+    # Paper: inter-zone writes saturate at ~186 KIOPS; appends at ~132 K.
+    assert result.value("kiops", op="write", zones=14) == pytest.approx(186, rel=0.05)
+    assert result.value("kiops", op="append", zones=14) == pytest.approx(132, rel=0.05)

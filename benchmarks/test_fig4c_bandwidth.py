@@ -1,0 +1,21 @@
+"""Fig. 4c: bandwidth vs concurrency, intra-zone append vs inter-zone write."""
+
+import pytest
+
+from repro.core.observations import check_obs8
+
+from conftest import emit, run_once
+
+
+def test_fig4c_bandwidth_scaling(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig4c"))
+    emit(result)
+    check = check_obs8(result)
+    assert check.passed, check.details
+    # Paper: 4 KiB writes cap at 726.74 MiB/s; >= 8 KiB requests reach
+    # the ~1,155 MiB/s device limit with 2-4 concurrent units.
+    cap_4k = max(v for _, v in result.series["write-4k"])
+    assert cap_4k == pytest.approx(726.74, rel=0.05)
+    for key in ("write-8k", "append-8k", "write-16k", "append-16k"):
+        plateau = dict(result.series[key])[4]
+        assert plateau == pytest.approx(1_155, rel=0.05), key

@@ -1,0 +1,20 @@
+"""Fig. 5a: reset latency vs zone occupancy (finished and unfinished)."""
+
+import pytest
+
+from conftest import emit, run_once
+
+
+def test_fig5a_reset_occupancy(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig5a"))
+    emit(result)
+    # Paper: 11.60 ms at 50%, 16.19 ms at 100%; a finished half-full zone
+    # takes ~3.08 ms longer to reset than an unfinished one.
+    half = result.value("reset_ms", occupancy="50%", finished_first=False)
+    full = result.value("reset_ms", occupancy="100%", finished_first=False)
+    finished_half = result.value("reset_ms", occupancy="50%", finished_first=True)
+    assert half == pytest.approx(11.60, rel=0.06)
+    assert full == pytest.approx(16.19, rel=0.06)
+    assert finished_half - half == pytest.approx(3.08, rel=0.25)
+    resets = [r["reset_ms"] for r in result.rows if not r["finished_first"]]
+    assert resets == sorted(resets)

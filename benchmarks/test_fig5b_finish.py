@@ -1,0 +1,19 @@
+"""Fig. 5b: finish latency vs zone occupancy."""
+
+import pytest
+
+from conftest import emit, run_once
+
+
+def test_fig5b_finish_occupancy(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig5b"))
+    emit(result)
+    # Paper: 907.51 ms at <0.1% occupancy down to 3.07 ms at ~100% —
+    # a ~295x decrease, linear from <0.1% to 25%.
+    low = result.value("finish_ms", occupancy="<0.1%")
+    high = result.value("finish_ms", occupancy="~100%")
+    assert low == pytest.approx(907.51, rel=0.06)
+    assert high == pytest.approx(3.07, rel=0.1)
+    assert low / high == pytest.approx(295, rel=0.15)
+    finishes = result.column("finish_ms")
+    assert finishes == sorted(finishes, reverse=True)

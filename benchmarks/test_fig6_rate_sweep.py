@@ -1,0 +1,18 @@
+"""Fig. 6 rate-limited configurations (paper: "stable in all", unplotted)."""
+
+from repro.core.experiments.io_interference import run_fig6_rate_sweep
+
+from conftest import emit, run_once
+
+
+def test_fig6_rate_limited_stability(benchmark, results):
+    result = run_once(benchmark, lambda: run_fig6_rate_sweep(results.config))
+    emit(result)
+    # ZNS: write throughput matches the configured rate and stays stable
+    # at every limit (paper §III-F).
+    for rate in (250, 750, 1_155):
+        cov = result.value("write_cov", device="zns", rate_limit_mibs=rate)
+        assert cov < 0.05, rate
+    # Conventional: GC-driven fluctuation appears as the rate approaches
+    # the device limit.
+    assert result.value("write_cov", device="conv", rate_limit_mibs=1_155) > 0.3

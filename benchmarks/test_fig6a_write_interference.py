@@ -1,0 +1,16 @@
+"""Fig. 6a: write throughput over time under GC, ZNS vs conventional."""
+
+from conftest import emit, run_once
+
+
+def test_fig6a_write_stability(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig6"))
+    emit(result)
+    # Paper: ZNS write throughput is stable; the conventional SSD
+    # fluctuates between a few MiB/s and ~1,200 MiB/s under FTL GC.
+    zns_cov = result.value("cov", device="zns", metric="write")
+    conv_cov = result.value("cov", device="conv", metric="write")
+    assert zns_cov < 0.05
+    assert conv_cov > 0.3
+    assert result.value("min_mibs", device="conv", metric="write") < 300
+    assert result.value("max_mibs", device="conv", metric="write") > 900

@@ -1,0 +1,19 @@
+"""Fig. 6b: read throughput under a concurrent write flood, ZNS vs NVMe."""
+
+from repro.core.observations import check_obs11
+
+from conftest import emit, run_once
+
+
+def test_fig6b_read_throughput_under_flood(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig6"))
+    emit(result)
+    check = check_obs11(result)
+    assert check.passed, check.details
+    # Paper Table I: ZNS offers ~3x higher read throughput than NVMe
+    # under concurrent I/O; Fig. 6b shows conventional reads below
+    # ~3 MiB/s.
+    zns_read = result.value("mean_mibs", device="zns", metric="read")
+    conv_read = result.value("mean_mibs", device="conv", metric="read")
+    assert conv_read < 3.0
+    assert 2.0 < zns_read / conv_read < 6.0

@@ -1,0 +1,20 @@
+"""Fig. 7: p95 reset latency under concurrent read/write/append."""
+
+import pytest
+
+from repro.core.observations import check_obs12, check_obs13
+
+from conftest import emit, run_once
+
+
+def test_fig7_reset_interference(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig7"))
+    emit(result)
+    for check in (check_obs12(result), check_obs13(result)):
+        assert check.passed, check.details
+    # Paper: 17.94 ms isolated -> 28.00 (read, +56%), 32.00 (write,
+    # +78%), 31.48 ms (append, +76%).
+    assert result.value("reset_p95_ms", concurrent_op="none") == pytest.approx(17.94, rel=0.08)
+    assert result.value("reset_p95_ms", concurrent_op="read") == pytest.approx(28.00, rel=0.12)
+    assert result.value("reset_p95_ms", concurrent_op="write") == pytest.approx(32.00, rel=0.12)
+    assert result.value("reset_p95_ms", concurrent_op="append") == pytest.approx(31.48, rel=0.12)

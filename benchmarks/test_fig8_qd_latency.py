@@ -1,0 +1,22 @@
+"""Appendix Fig. 8: throughput/latency at various queue depths."""
+
+from conftest import emit, run_once
+
+
+def test_fig8_qd_throughput_latency(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("fig8"))
+    emit(result)
+    # Shape: latency and throughput both grow with QD; past the
+    # saturation threshold latency doubles per QD step for both ops.
+    for op in ("write", "append"):
+        rows = [r for r in result.rows if r["op"] == op and r["request_kib"] == 32]
+        latencies = [r["latency_us"] for r in rows]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > 8 * latencies[0]
+    # At 4 KiB, appends plateau below writes (which merge via
+    # mq-deadline and reach the device bandwidth).
+    a4 = max(r["bandwidth_mibs"] for r in result.rows
+             if r["op"] == "append" and r["request_kib"] == 4)
+    w4 = max(r["bandwidth_mibs"] for r in result.rows
+             if r["op"] == "write" and r["request_kib"] == 4)
+    assert w4 > 1.5 * a4

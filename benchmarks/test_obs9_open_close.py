@@ -1,0 +1,22 @@
+"""Observation #9: zone open/close costs and implicit-open penalties."""
+
+import pytest
+
+from repro.core.observations import check_obs9
+
+from conftest import emit, run_once
+
+
+def test_obs9_transition_costs(benchmark, results):
+    result = run_once(benchmark, lambda: results.get("obs9"))
+    emit(result)
+    check = check_obs9(result)
+    assert check.passed, check.details
+    # Paper: open 9.56 us, close 11.01 us, implicit-open penalties
+    # 2.02 us (write) and 2.83 us (append).
+    assert result.value("latency_us", quantity="explicit open") == pytest.approx(9.56, rel=0.1)
+    assert result.value("latency_us", quantity="close") == pytest.approx(11.01, rel=0.1)
+    assert result.value(
+        "latency_us", quantity="implicit-open write penalty") == pytest.approx(2.02, rel=0.25)
+    assert result.value(
+        "latency_us", quantity="implicit-open append penalty") == pytest.approx(2.83, rel=0.25)

@@ -1,0 +1,26 @@
+"""Table I: the key insights, validated against the measured results."""
+
+from repro.core import check_all, table1
+from repro.core.recommendations import validate
+
+from conftest import run_once
+
+
+def test_table1_key_insights(benchmark, results):
+    # Reuses every experiment the earlier benchmarks produced; any that
+    # did not run yet (e.g. when filtering) are produced on demand.
+    needed = ["fig2a", "fig2b", "fig3", "fig4a", "fig4b", "fig4c",
+              "obs9", "fig5a", "fig5b", "fig6", "fig7"]
+
+    def build():
+        collected = {exp_id: results.get(exp_id) for exp_id in needed}
+        return check_all(collected)
+
+    checks = run_once(benchmark, build)
+    print()
+    print(table1(checks))
+    for check in checks:
+        print(check)
+    failed = [c.obs_id for c in checks if not c.passed]
+    assert not failed, f"observations not reproduced: {failed}"
+    assert all(ok for _, ok in validate(checks))

@@ -1,0 +1,18 @@
+"""Table II: the benchmarking environment (simulated testbed)."""
+
+from repro.core import table2
+from repro.zns.profiles import zn540
+
+
+def test_table2_environment(benchmark):
+    text = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print()
+    print(text)
+    profile = zn540()
+    # Table II anchors: zone size 2,048 MiB, capacity 1,077 MiB,
+    # 904 zones, 14 max active zones.
+    assert profile.zone_size_bytes == 2048 * 1024 * 1024
+    assert profile.zone_cap_bytes == 1077 * 1024 * 1024
+    assert profile.num_zones == 904
+    assert profile.max_active_zones == 14
+    assert "904" in text

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""ZNS vs conventional NVMe under a write flood (Fig. 6, condensed).
+
+Runs the paper's §III-F interference scenario on both simulated devices
+— 4 threads of 128 KiB writes at QD8 plus a random reader — and draws
+ASCII timelines of the write throughput, making the headline result
+visible at a glance: host-managed reclamation (ZNS) is steady; FTL
+garbage collection (conventional) swings between near-zero and the
+device limit.
+
+Run: ``python examples/gc_comparison.py`` (takes ~1 minute)
+"""
+
+from repro.core import ExperimentConfig
+from repro.core.experiments.io_interference import _run_device
+from repro.sim import ms
+
+BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, peak):
+    cells = []
+    for v in values:
+        idx = min(len(BARS) - 1, int(v / peak * (len(BARS) - 1) + 0.5))
+        cells.append(BARS[idx])
+    return "".join(cells)
+
+
+def main() -> None:
+    config = ExperimentConfig(interference_runtime_ns=ms(1_500))
+    print("running ZNS flood (appends + host resets)...")
+    zns_write, zns_read = _run_device(config, "zns", with_reader=True)
+    print("running conventional flood (random overwrites + FTL GC)...")
+    conv_write, conv_read = _run_device(config, "conv", with_reader=True)
+
+    peak = 1_200.0  # MiB/s, the device write limit
+    for label, result in (("ZNS ", zns_write), ("conv", conv_write)):
+        values = [v for _, v in result.timeseries.bandwidth_series()][1:-1]
+        mean = sum(values) / len(values)
+        print(f"\n{label} write throughput (0-{peak:.0f} MiB/s, 50 ms buckets):")
+        print(f"  {sparkline(values, peak)}")
+        print(f"  mean {mean:7.1f} MiB/s   min {min(values):7.1f}   max {max(values):7.1f}")
+
+    print("\nconcurrent 4 KiB random reads (QD32):")
+    for label, result in (("ZNS ", zns_read), ("conv", conv_read)):
+        print(f"  {label}: {result.bandwidth_mibs:6.2f} MiB/s, "
+              f"p95 latency {result.latency.percentile_ns(95) / 1e6:7.2f} ms")
+    ratio = zns_read.bandwidth_mibs / max(conv_read.bandwidth_mibs, 1e-9)
+    print(f"\nZNS sustains {ratio:.1f}x the conventional read throughput under "
+          "the flood (paper Table I: ~3x), because its reclamation is "
+          "host-scheduled resets instead of device-internal GC.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Infer a device's hidden zone-to-die mapping from the outside.
+
+The paper's §V describes Bae et al.'s host-side tool that discovers
+which zones share flash dies purely from inter-zone interference
+measurements. This example runs our implementation against three
+simulated devices whose (hidden) striping differs:
+
+* the ZN540 (large zones striped over every die) — one big group,
+* a half-width device — two die groups,
+* a quarter-width device — four die groups,
+
+and shows the tool recovering each mapping blind.
+
+Run: ``python examples/zone_parallelism.py`` (takes ~1 minute)
+"""
+
+from repro.sim import Simulator
+from repro.zns import ZnsDevice, infer_zone_groups
+from repro.zns.profiles import zn540
+
+MIB = 1024 * 1024
+
+
+def build(stripe_width):
+    profile = zn540(
+        num_zones=8,
+        zone_size_bytes=512 * MIB,
+        zone_cap_bytes=384 * MIB,
+        stripe_width=stripe_width,
+        jitter_sigma=0.0,
+        mgmt_jitter_sigma=0.0,
+    )
+    return ZnsDevice(Simulator(), profile)
+
+
+def main() -> None:
+    configs = [
+        ("full-width striping (ZN540-like)", None),
+        ("half-width striping (2 die groups)", 16),
+        ("quarter-width striping (4 die groups)", 8),
+    ]
+    for label, width in configs:
+        device = build(width)
+        report = infer_zone_groups(device, zones=[0, 1, 2, 3])
+        print(f"{label}:")
+        print("  " + report.table().replace("\n", "\n  "))
+        print(f"  inferred die groups : {report.group_count}")
+        pairs = ", ".join(
+            f"{a}-{b}:{'shared' if report.interferes(a, b) else 'disjoint'}"
+            for (a, b) in report.pair_mibs
+        )
+        print(f"  pairwise verdicts   : {pairs}")
+        print()
+    print("On the large-zone ZN540 every zone interferes with every other —")
+    print("the reason the paper prefers intra-zone parallelism (Rec #2): there")
+    print("is no spare die-level parallelism to win by spreading across zones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Performance Characterization of NVMe Flash
+Devices with Zoned Namespaces (ZNS)" (Doekemeijer, Tehrany et al.,
+IEEE CLUSTER 2023) on a fully simulated device substrate.
+
+The package builds everything the paper's measurements depend on —
+a discrete-event NAND/controller/firmware model of the WD Ultrastar DC
+ZN540 ZNS SSD, a conventional SSD with a page-mapped FTL and greedy GC,
+SPDK-like and io_uring-like host stacks, and a fio-like workload engine —
+then re-runs every experiment (all 13 observations, Figs. 2-8, Tables
+I/II, and the §IV emulator-fidelity analysis).
+
+Quick start::
+
+    from repro.sim import Simulator
+    from repro.zns import ZnsDevice, zn540
+    from repro.stacks import SpdkStack
+    from repro.hostif import Command, Opcode
+
+    sim = Simulator()
+    device = ZnsDevice(sim, zn540())
+    stack = SpdkStack(device)
+    completion = sim.run(until=stack.submit(Command(Opcode.WRITE, slba=0, nlb=1)))
+    print(completion.latency_ns / 1000, "us")   # ~11.36, as in the paper
+
+See README.md, DESIGN.md, and EXPERIMENTS.md for the full map.
+"""
+
+from . import apps, conv, core, emulators, flash, hostif, sim, stacks, workload, zns
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "conv",
+    "core",
+    "emulators",
+    "flash",
+    "hostif",
+    "sim",
+    "stacks",
+    "workload",
+    "zns",
+    "__version__",
+]

@@ -1,0 +1,108 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``env``          print the simulated testbed configuration (Table II)
+``run``          run paper experiments and print their tables
+``observations`` run the experiments needed for the 13 observations and
+                 report which reproduce (Table I)
+``fidelity``     run the §IV emulator-fidelity matrix
+``list``         list available experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import ExperimentConfig, check_all, run_experiments, table1, table2
+from .core.report import EXPERIMENT_RUNNERS
+from .sim.engine import ms
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig(seed=args.seed)
+    if args.fast:
+        config = ExperimentConfig(
+            seed=args.seed,
+            point_runtime_ns=ms(3),
+            ramp_ns=ms(0.5),
+            zones_per_level=5,
+            interference_reset_zones=12,
+            interference_runtime_ns=ms(600),
+        )
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    return config
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the CLUSTER'23 ZNS characterization paper "
+                    "on a simulated device.",
+    )
+    parser.add_argument("--seed", type=int, default=0x5EED,
+                        help="root seed for all random streams")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced statistical scale (quick look)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiply experiment durations/sweeps")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("env", help="print the simulated environment (Table II)")
+    sub.add_parser("list", help="list experiment ids")
+    run_parser = sub.add_parser("run", help="run experiments, print tables")
+    run_parser.add_argument("ids", nargs="*",
+                            help="experiment ids (default: all; see 'list')")
+    obs_parser = sub.add_parser(
+        "observations", help="evaluate the 13 observations (Table I)")
+    obs_parser.add_argument(
+        "--skip-interference", action="store_true",
+        help="skip the minutes-long fig6/obs11/fig7 experiments")
+    sub.add_parser("fidelity", help="run the emulator-fidelity matrix (§IV)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "env":
+        print(table2())
+        return 0
+
+    if args.command == "list":
+        for exp_id in EXPERIMENT_RUNNERS():
+            print(exp_id)
+        return 0
+
+    if args.command == "run":
+        config = _config_from_args(args)
+        run_experiments(args.ids or None, config, verbose=True)
+        return 0
+
+    if args.command == "observations":
+        config = _config_from_args(args)
+        # The experiments the 13 observations consume (fig8 and the
+        # ablations are not observation inputs).
+        ids = ["fig2a", "fig2b", "fig3", "fig4a", "fig4b", "fig4c",
+               "obs9", "fig5a", "fig5b", "fig6", "obs11", "fig7"]
+        if args.skip_interference:
+            for heavy in ("fig6", "obs11", "fig7"):
+                ids.remove(heavy)
+        results = run_experiments(ids, config, verbose=False)
+        checks = check_all(results)
+        for check in checks:
+            print(check)
+        print()
+        print(table1(checks))
+        return 0 if all(c.passed for c in checks) else 1
+
+    if args.command == "fidelity":
+        from .emulators import run_fidelity_matrix
+
+        print(run_fidelity_matrix().table())
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Application substrates over the simulated ZNS device.
+
+The layers the paper's §II-C/§V survey as ZNS consumers, reproduced at
+their performance-relevant core: a zonefs-like per-zone file view and a
+RAID-0 striped zone array (RAIZN-lite). The log-structured KV store
+lives in ``examples/zns_log_store.py`` as a runnable walkthrough.
+"""
+
+from .zonefs import ZoneFile, ZoneFs
+from .zraid import StripedZoneArray
+
+__all__ = ["StripedZoneArray", "ZoneFile", "ZoneFs"]

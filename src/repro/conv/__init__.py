@@ -1,0 +1,7 @@
+"""Conventional (block-interface) SSD: page-mapped FTL + greedy GC."""
+
+from .device import ConvDevice
+from .ftl import Block, FtlFullError, PageMappedFtl
+from .gc import GcPolicy, GcStats
+
+__all__ = ["Block", "ConvDevice", "FtlFullError", "GcPolicy", "GcStats", "PageMappedFtl"]

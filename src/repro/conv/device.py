@@ -1,0 +1,309 @@
+"""The simulated conventional (block-interface) NVMe SSD.
+
+Shares the ZN540's controller/buffer/flash mechanics (the paper stresses
+both test devices "have the same hardware specifications") but replaces
+the zone layer with a page-mapped FTL plus device-internal garbage
+collection. GC relocation traffic flows through the same dies as user
+I/O at the same priority — producing exactly the §III-F phenomena: user
+write throughput swinging between a few MiB/s and the device limit, and
+read tail latencies inflated by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..flash.backend import FlashBackend
+from ..hostif.commands import Command, Completion, Opcode
+from ..hostif.namespace import LBA_4K, LbaFormat, Namespace
+from ..hostif.status import Status
+from ..sim.engine import Event, Simulator
+from ..sim.resources import Container, Resource
+from ..sim.rng import LatencySampler, StreamFactory
+from ..zns.device import PRIO_IO, DeviceCounters
+from ..zns.profiles import DeviceProfile
+from .ftl import FtlFullError, PageMappedFtl
+from .gc import GcPolicy, GcStats
+
+__all__ = ["ConvDevice", "PRIO_GC_URGENT"]
+
+#: GC only activates below the low free-space watermark, where it must
+#: outrank user traffic at the dies or the (buffer-deep) backlog of user
+#: programs would starve it and deadlock the FTL. This urgency is also
+#: what collapses user throughput during GC bursts (Fig. 6a) and stretches
+#: read tails to hundreds of milliseconds (Observation #11).
+PRIO_GC_URGENT = -1
+
+
+class ConvDevice:
+    """A conventional SSD: page-mapped FTL + greedy GC over shared flash."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        lba_format: LbaFormat = LBA_4K,
+        streams: Optional[StreamFactory] = None,
+        gc_policy: Optional[GcPolicy] = None,
+        gc_window: int = 16,
+        gc_priority: int = PRIO_GC_URGENT,
+    ):
+        self.sim = sim
+        self.profile = profile
+        streams = streams or StreamFactory()
+        self.ftl = PageMappedFtl(profile.geometry, profile.overprovision)
+        page_size = profile.geometry.page_size
+        logical_bytes = self.ftl.logical_pages * page_size
+        # Round the namespace down to a whole number of logical pages.
+        self.namespace = Namespace(logical_bytes, lba_format)
+        self.backend = FlashBackend(
+            sim, profile.geometry, profile.nand, profile.channel_bandwidth
+        )
+        self.controller = Resource(sim, capacity=1, name="controller")
+        self.buffer = Container(sim, capacity=profile.write_buffer_bytes, name="wbuf")
+        self._io_jitter = LatencySampler(streams.stream("conv-io"), profile.jitter_sigma)
+        self.counters = DeviceCounters()
+        self.gc_policy = gc_policy or GcPolicy(
+            profile.gc_low_watermark, profile.gc_high_watermark
+        )
+        self.gc_stats = GcStats()
+        self._gc_wakeup = sim.event()
+        self._space_freed = sim.event()
+        self._gc_running = False
+        #: Free blocks only GC may allocate from — guarantees relocation
+        #: destinations so GC can always make forward progress.
+        self._gc_reserve = profile.geometry.total_dies
+        #: Victim blocks processed concurrently. Real FTLs pipeline GC
+        #: deeply; this is what piles relocation traffic onto the dies in
+        #: front of user reads (the §III-F conventional read tails).
+        if gc_window < 1:
+            raise ValueError(f"gc_window must be >= 1, got {gc_window}")
+        self.gc_window = gc_window
+        #: Die-scheduling priority of GC traffic; PRIO_GC_URGENT by
+        #: default (see module note). The ablation benchmarks set this to
+        #: PRIO_IO to demonstrate the starvation failure mode.
+        self.gc_priority = gc_priority
+        self._gc_inflight_blocks: set[int] = set()
+        sim.process(self._gc_loop(), name="conv-gc")
+
+    # ------------------------------------------------------------------ api
+    def submit(self, command: Command) -> Event:
+        if command.submitted_at < 0:
+            command.submitted_at = self.sim.now
+        done = self.sim.event()
+        if command.opcode is Opcode.READ:
+            self.sim.process(self._exec_read(command, done))
+        elif command.opcode is Opcode.WRITE:
+            self.sim.process(self._exec_write(command, done))
+        elif command.opcode is Opcode.TRIM:
+            self.sim.process(self._exec_trim(command, done))
+        else:
+            raise ValueError(
+                f"conventional device does not support {command.opcode.value}"
+            )
+        return done
+
+    def precondition(self, utilization: float = 1.0,
+                     steady_state_churn: float = 0.0, seed: int = 99) -> None:
+        """Metadata-only stand-in for the hours-long fill + churn a real
+        measurement runs before Fig. 6.
+
+        Fills ``utilization`` of the logical space sequentially, then
+        overwrites ``steady_state_churn`` × that volume at uniformly
+        random addresses with synchronous (untimed) watermark GC — which
+        drives the per-block validity distribution to the greedy-GC
+        steady state, so the measured run starts with realistic write
+        amplification instead of spending hundreds of simulated seconds
+        converging.
+        """
+        if not 0 <= utilization <= 1:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        if steady_state_churn < 0:
+            raise ValueError("steady_state_churn must be >= 0")
+        mapped = int(self.ftl.logical_pages * utilization)
+        for logical in range(mapped):
+            self.ftl.commit_write(logical)
+        if steady_state_churn > 0 and mapped > 0:
+            import numpy as np
+
+            rng = np.random.default_rng(seed)
+            for logical in rng.integers(0, mapped, round(mapped * steady_state_churn)):
+                if self.gc_policy.should_start(self.ftl.free_fraction):
+                    self._metadata_gc(self.gc_policy.high_watermark)
+                self.ftl.commit_write(int(logical))
+        # The fill is preconditioning, not measured traffic.
+        self.ftl.total_user_pages_written = 0
+        self.ftl.total_gc_pages_copied = 0
+
+    def _metadata_gc(self, target_free_fraction: float) -> None:
+        """Instantaneous GC used only during preconditioning."""
+        while self.ftl.free_fraction < target_free_fraction:
+            victim = self.ftl.pick_victim()
+            if victim is None:
+                break
+            for slot in range(self.ftl.pages_per_block):
+                self.ftl.relocate(victim, slot)
+            self.ftl.erase(victim)
+
+    # ----------------------------------------------------------------- paths
+    def _complete(self, done, command: Command, status: Status, nbytes: int = 0) -> None:
+        completion = Completion(command=command, status=status, completed_at=self.sim.now)
+        self.counters.record(completion, nbytes)
+        done.succeed(completion)
+
+    def _controller_service(self, service_ns: int) -> Generator:
+        req = self.controller.request(PRIO_IO)
+        yield req
+        yield self.sim.timeout(self._io_jitter.jitter(service_ns))
+        self.controller.release(req)
+
+    def _pages_spanned(self, command: Command) -> range:
+        page_size = self.profile.geometry.page_size
+        start = self.namespace.bytes_of(command.slba)
+        end = start + self.namespace.bytes_of(command.nlb)
+        return range(start // page_size, -(-end // page_size))
+
+    def _exec_read(self, command: Command, done) -> Generator:
+        nbytes = self.namespace.bytes_of(command.nlb)
+        service = self.profile.cmd_service_ns(
+            Opcode.READ, nbytes, command.nlb, self.namespace.block_size
+        )
+        yield from self._controller_service(service)
+        if command.slba + command.nlb > self.namespace.capacity_lbas:
+            self._complete(done, command, Status.LBA_OUT_OF_RANGE)
+            return
+        reads = []
+        for logical in self._pages_spanned(command):
+            physical = self.ftl.lookup(logical)
+            if physical is None:
+                continue  # unwritten data: served from the map, no NAND
+            die = self.ftl.die_of_physical(physical)
+            take = min(self.profile.geometry.page_size, nbytes)
+            reads.append(
+                self.sim.process(
+                    self.backend.read_page(die, priority=PRIO_IO, transfer_bytes=take)
+                )
+            )
+        if reads:
+            yield self.sim.all_of(reads)
+        self._complete(done, command, Status.SUCCESS, nbytes=nbytes)
+
+    def _exec_write(self, command: Command, done) -> Generator:
+        nbytes = self.namespace.bytes_of(command.nlb)
+        service = self.profile.cmd_service_ns(
+            Opcode.WRITE, nbytes, command.nlb, self.namespace.block_size
+        )
+        yield from self._controller_service(service)
+        if command.slba + command.nlb > self.namespace.capacity_lbas:
+            self._complete(done, command, Status.LBA_OUT_OF_RANGE)
+            return
+        pages = list(self._pages_spanned(command))
+        flash_bytes = len(pages) * self.profile.geometry.page_size
+        yield self.sim.timeout(self.profile.dma_ns(nbytes) + self.profile.write_admit_ns)
+        yield self.buffer.put(flash_bytes)
+        for logical in pages:
+            self.sim.process(self._flush_page(logical))
+        self._maybe_wake_gc()
+        self._complete(done, command, Status.SUCCESS, nbytes=nbytes)
+
+    def _flush_page(self, logical: int) -> Generator:
+        while True:
+            try:
+                physical = self.ftl.commit_write(logical, reserve=self._gc_reserve)
+                break
+            except FtlFullError:
+                # Out of allocatable blocks: stall this flush (and, via
+                # the full buffer, user writes) until GC frees a block —
+                # the mechanism behind Fig. 6a's throughput collapses.
+                self._maybe_wake_gc()
+                yield self._space_freed
+        die = self.ftl.die_of_physical(physical)
+        yield from self.backend.program_page(die, priority=PRIO_IO)
+        yield self.buffer.get(self.profile.geometry.page_size)
+
+    def _exec_trim(self, command: Command, done) -> Generator:
+        """NVMe deallocate: unmap pages so GC can reclaim them for free.
+
+        Like the ZNS reset, trim is metadata work whose cost grows with
+        the number of mapped pages it touches (the paper cites trim's
+        metadata overheads when explaining reset cost, §III-E). We model
+        it as per-page mapping updates on the controller.
+        """
+        nbytes = self.namespace.bytes_of(command.nlb)
+        service = self.profile.cmd_service_ns(
+            Opcode.WRITE, nbytes, command.nlb, self.namespace.block_size
+        )
+        yield from self._controller_service(service)
+        if command.slba + command.nlb > self.namespace.capacity_lbas:
+            self._complete(done, command, Status.LBA_OUT_OF_RANGE)
+            return
+        unmapped = 0
+        for logical in self._pages_spanned(command):
+            if self.ftl.trim(logical):
+                unmapped += 1
+        # Mapping-table updates: same per-LBA cost class as the ZNS
+        # reset's unmapping work, scaled to the pages actually touched.
+        yield self.sim.timeout(unmapped * self.profile.per_lba_ns_4k * 4)
+        self._complete(done, command, Status.SUCCESS)
+
+    # ----------------------------------------------------------------- GC
+    def _maybe_wake_gc(self) -> None:
+        if not self._gc_running and self.gc_policy.should_start(self.ftl.free_fraction):
+            if not self._gc_wakeup.triggered:
+                self._gc_wakeup.succeed()
+
+    def _gc_loop(self) -> Generator:
+        while True:
+            if not self.gc_policy.should_start(self.ftl.free_fraction):
+                yield self._gc_wakeup
+                self._gc_wakeup = self.sim.event()
+            self._gc_running = True
+            self.gc_stats.start_run(self.sim.now)
+            active: list = []
+            while True:
+                # Keep the victim pipeline full while below the stop mark.
+                while (
+                    len(active) < self.gc_window
+                    and not self.gc_policy.should_stop(self.ftl.free_fraction)
+                ):
+                    victim = self.ftl.pick_victim(exclude=self._gc_inflight_blocks)
+                    if victim is None:
+                        break
+                    self._gc_inflight_blocks.add(victim.block_id)
+                    active.append(self.sim.process(self._gc_victim(victim)))
+                if not active:
+                    break
+                yield self.sim.any_of(active)
+                active = [p for p in active if p.is_alive]
+            self.gc_stats.end_run(self.sim.now)
+            self._gc_running = False
+
+    def _gc_victim(self, victim) -> Generator:
+        """Relocate one victim's valid pages, then erase and recycle it."""
+        try:
+            copies = []
+            for slot in range(self.ftl.pages_per_block):
+                new_physical = self.ftl.relocate(victim, slot)
+                if new_physical is None:
+                    continue
+                copies.append(
+                    self.sim.process(
+                        self._gc_copy(victim.die, self.ftl.die_of_physical(new_physical))
+                    )
+                )
+            if copies:
+                yield self.sim.all_of(copies)
+                self.gc_stats.pages_copied += len(copies)
+            yield self.sim.process(
+                self.backend.erase_block(victim.die, priority=self.gc_priority)
+            )
+            self.ftl.erase(victim)
+            self.gc_stats.victims_erased += 1
+            self._space_freed.succeed()
+            self._space_freed = self.sim.event()
+        finally:
+            self._gc_inflight_blocks.discard(victim.block_id)
+
+    def _gc_copy(self, src_die: int, dst_die: int) -> Generator:
+        yield from self.backend.read_page(src_die, priority=self.gc_priority)
+        yield from self.backend.program_page(dst_die, priority=self.gc_priority)

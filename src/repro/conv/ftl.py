@@ -1,0 +1,239 @@
+"""Page-mapped FTL for the conventional (block-interface) SSD model.
+
+This is the substrate that makes the §III-F comparison meaningful: unlike
+ZNS — where the host controls reclamation via ``reset`` — a conventional
+SSD hides flash erase-before-write behind a logical-to-physical page map
+and reclaims space with device-internal garbage collection.
+
+Structure:
+
+* the logical space is ``(1 - overprovision)`` of the raw flash capacity,
+* each die keeps a pool of free blocks, one *user* active block and one
+  *GC* active block (separated write streams),
+* writes allocate the next slot of the user active block on a
+  round-robin die cursor, remap the logical page, and invalidate the old
+  physical page,
+* GC picks greedy victims (fewest valid pages), relocates the survivors,
+  and erases.
+
+The FTL is pure bookkeeping (no simulated time); the device model drives
+the matching NAND operations through the shared flash backend.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..flash.geometry import FlashGeometry
+
+__all__ = ["Block", "PageMappedFtl", "FtlFullError"]
+
+
+class FtlFullError(RuntimeError):
+    """Raised when an allocation finds no free block anywhere."""
+
+
+class Block:
+    """One erase block: slot→logical back-map and validity accounting."""
+
+    __slots__ = ("block_id", "die", "slot_to_logical", "write_slot", "valid_count")
+
+    def __init__(self, block_id: int, die: int, pages_per_block: int):
+        self.block_id = block_id
+        self.die = die
+        self.slot_to_logical = [-1] * pages_per_block
+        self.write_slot = 0
+        self.valid_count = 0
+
+    @property
+    def is_full(self) -> bool:
+        return self.write_slot >= len(self.slot_to_logical)
+
+    def garbage_pages(self) -> int:
+        return self.write_slot - self.valid_count
+
+
+class PageMappedFtl:
+    """Logical→physical page mapping with per-die block pools."""
+
+    def __init__(self, geometry: FlashGeometry, overprovision: float = 0.07):
+        if not 0 <= overprovision < 1:
+            raise ValueError(f"overprovision must be in [0, 1), got {overprovision}")
+        self.geometry = geometry
+        self.overprovision = overprovision
+        self.pages_per_block = geometry.pages_per_block
+        self.logical_pages = int(geometry.total_pages * (1 - overprovision))
+        if self.logical_pages <= 0:
+            raise ValueError("geometry too small for any logical capacity")
+        self._l2p: dict[int, int] = {}
+        blocks_per_die = geometry.planes_per_die * geometry.blocks_per_plane
+        self.blocks: list[Block] = []
+        self._free: list[deque[int]] = [deque() for _ in range(geometry.total_dies)]
+        for die in range(geometry.total_dies):
+            for b in range(blocks_per_die):
+                block_id = die * blocks_per_die + b
+                self.blocks.append(Block(block_id, die, self.pages_per_block))
+                self._free[die].append(block_id)
+        self._user_active: list[Optional[Block]] = [None] * geometry.total_dies
+        self._gc_active: list[Optional[Block]] = [None] * geometry.total_dies
+        self._die_cursor = 0
+        self.free_block_count = geometry.total_blocks
+        self.total_user_pages_written = 0
+        self.total_gc_pages_copied = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def free_fraction(self) -> float:
+        return self.free_block_count / self.geometry.total_blocks
+
+    def mapped_pages(self) -> int:
+        return len(self._l2p)
+
+    def write_amplification(self) -> float:
+        """Cumulative WA = (user + GC copies) / user pages."""
+        if self.total_user_pages_written == 0:
+            return 1.0
+        return (
+            self.total_user_pages_written + self.total_gc_pages_copied
+        ) / self.total_user_pages_written
+
+    def lookup(self, logical_page: int) -> Optional[int]:
+        """Physical page id of a logical page, or None if unmapped."""
+        self._check_logical(logical_page)
+        return self._l2p.get(logical_page)
+
+    def die_of_physical(self, physical_page: int) -> int:
+        return self.blocks[physical_page // self.pages_per_block].die
+
+    # -- writes --------------------------------------------------------------
+    def commit_write(self, logical_page: int, reserve: int = 0) -> int:
+        """Remap a logical page to a fresh slot; returns the physical page.
+
+        Invalidates the previous physical location (the flash "overwrite
+        illusion"). The caller is responsible for simulating the program
+        operation on the returned page's die.
+
+        ``reserve`` free blocks are kept untouchable by this (user-path)
+        allocation so garbage collection always has relocation
+        destinations; :class:`FtlFullError` signals the caller to wait
+        for GC rather than a corrupted state.
+        """
+        self._check_logical(logical_page)
+        physical = self._allocate(self._user_active, logical_page, reserve)
+        old = self._l2p.get(logical_page)
+        if old is not None:
+            self._invalidate_physical(old)
+        self._l2p[logical_page] = physical
+        self.total_user_pages_written += 1
+        return physical
+
+    def trim(self, logical_page: int) -> bool:
+        """Unmap a logical page (NVMe deallocate); True if it was mapped."""
+        self._check_logical(logical_page)
+        old = self._l2p.pop(logical_page, None)
+        if old is None:
+            return False
+        self._invalidate_physical(old)
+        return True
+
+    # -- garbage collection ----------------------------------------------------
+    def pick_victim(self, exclude: Optional[set[int]] = None) -> Optional[Block]:
+        """Greedy victim: the full, non-active block with fewest valid pages.
+
+        ``exclude`` skips blocks already being collected (lets a pipelined
+        GC pick several victims concurrently).
+        """
+        # A full block no longer accepts writes, so it is collectable even
+        # while still referenced as a stream's most-recent active block.
+        active = {
+            b.block_id
+            for b in (*self._user_active, *self._gc_active)
+            if b is not None and not b.is_full
+        }
+        if exclude:
+            active |= exclude
+        best: Optional[Block] = None
+        for block in self.blocks:
+            if block.block_id in active or not block.is_full:
+                continue
+            if block.garbage_pages() == 0 and block.valid_count > 0:
+                # Fully valid blocks yield nothing; skip unless no choice.
+                continue
+            if best is None or block.valid_count < best.valid_count:
+                best = block
+                if best.valid_count == 0:
+                    break
+        return best
+
+    def relocate(self, victim: Block, slot: int) -> Optional[int]:
+        """Move one valid page out of a victim; returns the new physical page.
+
+        Returns None when the slot holds no valid page. The caller
+        simulates the read (victim die) + program (returned page's die).
+        """
+        logical = victim.slot_to_logical[slot]
+        if logical < 0:
+            return None
+        physical = victim.block_id * self.pages_per_block + slot
+        if self._l2p.get(logical) != physical:
+            return None  # stale: overwritten since GC scanned
+        self._invalidate_physical(physical)
+        new_physical = self._allocate(self._gc_active, logical)
+        self._l2p[logical] = new_physical
+        self.total_gc_pages_copied += 1
+        return new_physical
+
+    def erase(self, victim: Block) -> None:
+        """Recycle a victim block (caller simulates the NAND erase)."""
+        if victim.valid_count != 0:
+            raise ValueError(
+                f"erasing block {victim.block_id} with {victim.valid_count} valid pages"
+            )
+        victim.slot_to_logical = [-1] * self.pages_per_block
+        victim.write_slot = 0
+        self._free[victim.die].append(victim.block_id)
+        self.free_block_count += 1
+
+    # -- internals ----------------------------------------------------------
+    def _check_logical(self, logical_page: int) -> None:
+        if not 0 <= logical_page < self.logical_pages:
+            raise ValueError(
+                f"logical page {logical_page} out of range [0, {self.logical_pages})"
+            )
+
+    def _invalidate_physical(self, physical: int) -> None:
+        block = self.blocks[physical // self.pages_per_block]
+        slot = physical % self.pages_per_block
+        if block.slot_to_logical[slot] < 0:
+            raise ValueError(f"double invalidate of physical page {physical}")
+        block.slot_to_logical[slot] = -1
+        block.valid_count -= 1
+
+    def _allocate(self, active_set: list[Optional[Block]], logical: int,
+                  reserve: int = 0) -> int:
+        dies = self.geometry.total_dies
+        for _ in range(dies):
+            die = self._die_cursor
+            self._die_cursor = (self._die_cursor + 1) % dies
+            block = active_set[die]
+            if block is None or block.is_full:
+                if self.free_block_count <= reserve:
+                    continue  # don't eat into the GC reserve
+                block = self._take_free_block(die)
+                if block is None:
+                    continue
+                active_set[die] = block
+            slot = block.write_slot
+            block.write_slot += 1
+            block.slot_to_logical[slot] = logical
+            block.valid_count += 1
+            return block.block_id * self.pages_per_block + slot
+        raise FtlFullError("no allocatable block outside the GC reserve")
+
+    def _take_free_block(self, die: int) -> Optional[Block]:
+        if not self._free[die]:
+            return None
+        block_id = self._free[die].popleft()
+        self.free_block_count -= 1
+        return self.blocks[block_id]

@@ -1,0 +1,55 @@
+"""Garbage-collection policy and accounting for the conventional SSD.
+
+Greedy victim selection with watermark hysteresis: GC starts when the
+free-block fraction drops below the low watermark and runs until the high
+watermark is restored. The hysteresis (plus whole-block relocation
+bursts) is what makes user throughput *fluctuate* on the conventional
+device — the behaviour Fig. 6 contrasts with ZNS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GcPolicy", "GcStats"]
+
+
+@dataclass(frozen=True)
+class GcPolicy:
+    """Watermark hysteresis thresholds (fractions of total blocks)."""
+
+    low_watermark: float = 0.03
+    high_watermark: float = 0.055
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low_watermark < self.high_watermark < 1:
+            raise ValueError(
+                f"require 0 < low ({self.low_watermark}) < high "
+                f"({self.high_watermark}) < 1"
+            )
+
+    def should_start(self, free_fraction: float) -> bool:
+        return free_fraction < self.low_watermark
+
+    def should_stop(self, free_fraction: float) -> bool:
+        return free_fraction >= self.high_watermark
+
+
+@dataclass
+class GcStats:
+    """Counters describing GC activity over a run."""
+
+    activations: int = 0
+    victims_erased: int = 0
+    pages_copied: int = 0
+    busy_ns: int = 0
+    _run_started_at: int = field(default=-1, repr=False)
+
+    def start_run(self, now: int) -> None:
+        self.activations += 1
+        self._run_started_at = now
+
+    def end_run(self, now: int) -> None:
+        if self._run_started_at >= 0:
+            self.busy_ns += now - self._run_started_at
+            self._run_started_at = -1

@@ -1,0 +1,1 @@
+"""Experiment drivers, one module per paper table/figure."""

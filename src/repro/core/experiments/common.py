@@ -1,0 +1,109 @@
+"""Shared scaffolding for the paper-experiment drivers.
+
+Each driver builds fresh simulated devices per measured point (fio also
+restarts between points), runs the workload for a configurable simulated
+duration, and reports the same quantities the paper plots.
+
+``ExperimentConfig`` centralizes the scale knobs. The defaults are the
+"fast" settings used by the test suite and benchmark harness; passing
+``duration_scale > 1`` tightens statistics at proportional wall-clock
+cost. The paper's 20-minute wall-clock runs are replaced by much shorter
+*simulated* windows — the simulated device is stationary, so statistics
+converge quickly (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ...hostif.namespace import LBA_4K, LBA_512, LbaFormat
+from ...sim.engine import Simulator, ms
+from ...sim.rng import StreamFactory
+from ...stacks.iouring import IoUringStack
+from ...stacks.spdk import SpdkStack
+from ...workload.job import JobSpec
+from ...workload.runner import JobResult, JobRunner
+from ...zns.device import ZnsDevice
+from ...zns.profiles import DeviceProfile, zn540
+
+__all__ = [
+    "ExperimentConfig",
+    "STACKS",
+    "build_device",
+    "build_stack",
+    "measure_job",
+    "KIB",
+    "MIB",
+]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Storage-stack configurations compared in §III (name → constructor).
+STACKS = ("spdk", "iouring-none", "iouring-mq-deadline")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale/seed knobs shared by all experiment drivers."""
+
+    seed: int = 0x5EED
+    #: Simulated duration of one measured point.
+    point_runtime_ns: int = ms(6)
+    ramp_ns: int = ms(1)
+    #: Zones per occupancy level in the reset/finish sweeps (§III-E).
+    zones_per_level: int = 12
+    #: Zones swept by each reset-interference configuration (§III-G).
+    interference_reset_zones: int = 40
+    #: Simulated duration of the Fig. 6 interference timelines.
+    interference_runtime_ns: int = ms(1_800)
+    #: Zones kept on the simulated ZNS device (latency-irrelevant).
+    num_zones: int = 64
+
+    def scaled(self, duration_scale: float) -> "ExperimentConfig":
+        """Stretch all durations/sweep sizes by a factor."""
+        if duration_scale <= 0:
+            raise ValueError("duration_scale must be positive")
+        return replace(
+            self,
+            point_runtime_ns=round(self.point_runtime_ns * duration_scale),
+            ramp_ns=round(self.ramp_ns * duration_scale),
+            zones_per_level=max(1, round(self.zones_per_level * duration_scale)),
+            interference_reset_zones=max(
+                4, round(self.interference_reset_zones * duration_scale)
+            ),
+            interference_runtime_ns=round(
+                self.interference_runtime_ns * duration_scale
+            ),
+        )
+
+
+def build_device(
+    config: ExperimentConfig,
+    lba_format: LbaFormat = LBA_4K,
+    profile: DeviceProfile | None = None,
+) -> tuple[Simulator, ZnsDevice]:
+    """A fresh simulator + calibrated ZN540 device."""
+    sim = Simulator()
+    profile = profile or zn540(num_zones=config.num_zones)
+    device = ZnsDevice(
+        sim, profile, lba_format=lba_format, streams=StreamFactory(config.seed)
+    )
+    return sim, device
+
+
+def build_stack(device, stack_name: str):
+    """Instantiate one of the paper's three stack configurations."""
+    if stack_name == "spdk":
+        return SpdkStack(device)
+    if stack_name == "iouring-none":
+        return IoUringStack(device, scheduler="none")
+    if stack_name == "iouring-mq-deadline":
+        return IoUringStack(device, scheduler="mq-deadline")
+    raise ValueError(f"unknown stack {stack_name!r} (choose from {STACKS})")
+
+
+def measure_job(device, stack_name: str, job: JobSpec) -> JobResult:
+    """Run one job to completion on a device and return its metrics."""
+    stack = build_stack(device, stack_name)
+    return JobRunner(device, stack, job).run()

@@ -1,0 +1,100 @@
+"""§III-C Fig. 2: write/append latency vs storage stack × LBA format.
+
+* **Fig. 2a** — request size equals the LBA-format block size (512 B or
+  4 KiB): shows the format effect (Observation #1) and the stack effect
+  (Observation #2).
+* **Fig. 2b** — the best request sizes from Fig. 3 (4 KiB writes, 8 KiB
+  appends) on both formats: shows write < append latency at equal
+  conditions (Observation #4).
+
+All points are single-threaded, synchronous (QD=1), as in the paper.
+"""
+
+from __future__ import annotations
+
+from ...hostif.namespace import LBA_4K, LBA_512, LbaFormat
+from ...workload.job import IoKind, JobSpec
+from ..results import ExperimentResult
+from .common import KIB, STACKS, ExperimentConfig, build_device, measure_job
+
+__all__ = ["run_fig2a", "run_fig2b"]
+
+#: io_uring cannot issue appends (§III-A); appends are SPDK-only.
+_APPEND_STACKS = ("spdk",)
+
+
+def _measure_point(
+    config: ExperimentConfig,
+    lba_format: LbaFormat,
+    stack_name: str,
+    op: str,
+    request_bytes: int,
+) -> float:
+    """Mean QD1 latency in µs for one (format, stack, op, size) point."""
+    sim, device = build_device(config, lba_format=lba_format)
+    zone = device.zones.zones[0]
+    job = JobSpec(
+        op=op,
+        block_size=request_bytes,
+        runtime_ns=config.point_runtime_ns,
+        ramp_ns=config.ramp_ns,
+        iodepth=1,
+        zones=[zone.index],
+        seed=config.seed,
+    )
+    result = measure_job(device, stack_name, job)
+    return result.latency.mean_us
+
+
+def run_fig2a(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Latency with request size = LBA-format block size (Fig. 2a)."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="fig2a",
+        title="I/O latency of append/write, request size = LBA size (QD=1)",
+        columns=["lba_format", "stack", "op", "request_bytes", "latency_us"],
+        notes=["appends are SPDK-only: fio/io_uring cannot issue them (§III-A)"],
+    )
+    for lba_format in (LBA_512, LBA_4K):
+        for stack_name in STACKS:
+            for op in (IoKind.WRITE, IoKind.APPEND):
+                if op == IoKind.APPEND and stack_name not in _APPEND_STACKS:
+                    continue
+                latency = _measure_point(
+                    config, lba_format, stack_name, op, lba_format.block_size
+                )
+                result.add_row(
+                    lba_format=str(lba_format),
+                    stack=stack_name,
+                    op=op,
+                    request_bytes=lba_format.block_size,
+                    latency_us=latency,
+                )
+    return result
+
+
+def run_fig2b(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Latency at the best request sizes: 4 KiB write, 8 KiB append."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="fig2b",
+        title="I/O latency at optimal request sizes (4 KiB write / 8 KiB append, QD=1)",
+        columns=["lba_format", "stack", "op", "request_bytes", "latency_us"],
+    )
+    best_size = {IoKind.WRITE: 4 * KIB, IoKind.APPEND: 8 * KIB}
+    for lba_format in (LBA_512, LBA_4K):
+        for stack_name in STACKS:
+            for op in (IoKind.WRITE, IoKind.APPEND):
+                if op == IoKind.APPEND and stack_name not in _APPEND_STACKS:
+                    continue
+                latency = _measure_point(
+                    config, lba_format, stack_name, op, best_size[op]
+                )
+                result.add_row(
+                    lba_format=str(lba_format),
+                    stack=stack_name,
+                    op=op,
+                    request_bytes=best_size[op],
+                    latency_us=latency,
+                )
+    return result

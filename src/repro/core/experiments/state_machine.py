@@ -1,0 +1,178 @@
+"""§III-E: zone state-machine transition costs.
+
+* **Observation #9** — explicit vs implicit open cost, close cost, and
+  the first-write/append penalty on implicitly opened zones.
+* **Fig. 5a** — reset latency vs zone occupancy, for zones that were and
+  were not finished first.
+* **Fig. 5b** — finish latency vs zone occupancy.
+
+As in the paper these use the SPDK path (fio cannot issue the
+transitions). Occupancy is established with the ``force_fill`` fixture —
+the metadata-equivalent of the paper's "fill with sequential 4 KiB
+writes" (equivalence is unit-tested) — so a sweep over thousands of
+zone-resets stays tractable.
+"""
+
+from __future__ import annotations
+
+from ...hostif.commands import Command, Opcode, ZoneAction
+from ...sim.engine import Simulator
+from ...workload.stats import LatencyStats
+from ..results import ExperimentResult
+from .common import KIB, ExperimentConfig, build_device
+
+__all__ = ["run_obs9_open_close", "run_fig5a_reset", "run_fig5b_finish",
+           "OCCUPANCY_LEVELS"]
+
+#: The paper's occupancy levels: 0 %, one page, 6.25 % ... 100 %.
+OCCUPANCY_LEVELS = ("0%", "1page", "6.25%", "12.5%", "25%", "50%", "100%")
+
+
+def _occupancy_lbas(level: str, cap_lbas: int, page_lbas: int) -> int:
+    if level == "0%":
+        return 0
+    if level == "1page":
+        return page_lbas
+    fraction = float(level.rstrip("%")) / 100.0
+    return round(cap_lbas * fraction)
+
+
+def _mgmt(device, zone_index: int, action: ZoneAction):
+    zslba = device.zones.zones[zone_index].zslba
+    done = device.submit(Command(Opcode.ZONE_MGMT, slba=zslba, action=action))
+    return device.sim.run(until=done)
+
+
+def _io(device, command: Command):
+    return device.sim.run(until=device.submit(command))
+
+
+def run_obs9_open_close(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Explicit/implicit open costs and close cost (Observation #9)."""
+    config = config or ExperimentConfig()
+    sim, device = build_device(config)
+    result = ExperimentResult(
+        experiment_id="obs9",
+        title="Zone open/close and implicit-open costs (SPDK, 4 KiB I/O)",
+        columns=["quantity", "latency_us"],
+    )
+    reps = max(8, config.zones_per_level)
+    nlb = device.namespace.lbas(4 * KIB)
+
+    open_lat, close_lat = LatencyStats(), LatencyStats()
+    first_w, later_w, first_a, later_a = (LatencyStats() for _ in range(4))
+
+    for rep in range(reps):
+        # Explicit open / close costs.
+        zone = rep % 4
+        open_lat.record(_mgmt(device, zone, ZoneAction.OPEN).latency_ns)
+        # Fill a little so close is on a written zone, then close.
+        _io(device, Command(Opcode.WRITE, slba=device.zones.zones[zone].wp, nlb=nlb))
+        close_lat.record(_mgmt(device, zone, ZoneAction.CLOSE).latency_ns)
+        _mgmt(device, zone, ZoneAction.RESET)
+
+        # Implicit open via write: first write pays the open penalty.
+        zone_obj = device.zones.zones[4]
+        first_w.record(_io(device, Command(Opcode.WRITE, slba=zone_obj.wp, nlb=nlb)).latency_ns)
+        later_w.record(_io(device, Command(Opcode.WRITE, slba=zone_obj.wp, nlb=nlb)).latency_ns)
+        _mgmt(device, 4, ZoneAction.RESET)
+
+        # Implicit open via append.
+        zone_obj = device.zones.zones[5]
+        first_a.record(_io(device, Command(Opcode.APPEND, slba=zone_obj.zslba, nlb=nlb)).latency_ns)
+        later_a.record(_io(device, Command(Opcode.APPEND, slba=zone_obj.zslba, nlb=nlb)).latency_ns)
+        _mgmt(device, 5, ZoneAction.RESET)
+
+    result.add_row(quantity="explicit open", latency_us=open_lat.mean_us)
+    result.add_row(quantity="close", latency_us=close_lat.mean_us)
+    result.add_row(quantity="first write after implicit open", latency_us=first_w.mean_us)
+    result.add_row(quantity="later write", latency_us=later_w.mean_us)
+    result.add_row(
+        quantity="implicit-open write penalty",
+        latency_us=first_w.mean_us - later_w.mean_us,
+    )
+    result.add_row(quantity="first append after implicit open", latency_us=first_a.mean_us)
+    result.add_row(quantity="later append", latency_us=later_a.mean_us)
+    result.add_row(
+        quantity="implicit-open append penalty",
+        latency_us=first_a.mean_us - later_a.mean_us,
+    )
+    return result
+
+
+def run_fig5a_reset(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Reset latency vs occupancy, finished and unfinished (Fig. 5a)."""
+    config = config or ExperimentConfig()
+    sim, device = build_device(config)
+    page_lbas = device.profile.geometry.page_size // device.namespace.block_size
+    result = ExperimentResult(
+        experiment_id="fig5a",
+        title="reset latency vs zone occupancy",
+        columns=["occupancy", "finished_first", "reset_ms", "p95_ms"],
+        meta={"zones_per_level": config.zones_per_level},
+    )
+    for finished_first in (False, True):
+        for level in OCCUPANCY_LEVELS:
+            stats = LatencyStats()
+            for rep in range(config.zones_per_level):
+                zone_index = rep % 8
+                zone = device.zones.zones[zone_index]
+                nlb = _occupancy_lbas(level, zone.cap_lbas, page_lbas)
+                status = device.force_fill(zone_index, nlb)
+                assert status.ok, status
+                if finished_first:
+                    if nlb == 0 or nlb == zone.cap_lbas:
+                        # finish is illegal on empty/full zones (§III-E).
+                        _mgmt(device, zone_index, ZoneAction.RESET)
+                        continue
+                    _mgmt(device, zone_index, ZoneAction.FINISH)
+                cpl = _mgmt(device, zone_index, ZoneAction.RESET)
+                stats.record(cpl.latency_ns)
+            if stats.count == 0:
+                continue
+            result.add_row(
+                occupancy=level,
+                finished_first=finished_first,
+                reset_ms=stats.mean_ns / 1e6,
+                p95_ms=stats.percentile_ns(95) / 1e6,
+            )
+    return result
+
+
+def run_fig5b_finish(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Finish latency vs occupancy (Fig. 5b).
+
+    "<0.1%" fills one page (finish on an empty zone is not permitted);
+    "~100%" fills all but one page.
+    """
+    config = config or ExperimentConfig()
+    sim, device = build_device(config)
+    page_lbas = device.profile.geometry.page_size // device.namespace.block_size
+    result = ExperimentResult(
+        experiment_id="fig5b",
+        title="finish latency vs zone occupancy",
+        columns=["occupancy", "finish_ms", "p95_ms"],
+    )
+    levels = ("<0.1%", "6.25%", "12.5%", "25%", "50%", "~100%")
+    for level in levels:
+        stats = LatencyStats()
+        for rep in range(config.zones_per_level):
+            zone_index = rep % 8
+            zone = device.zones.zones[zone_index]
+            if level == "<0.1%":
+                nlb = page_lbas
+            elif level == "~100%":
+                nlb = zone.cap_lbas - page_lbas
+            else:
+                nlb = _occupancy_lbas(level, zone.cap_lbas, page_lbas)
+            status = device.force_fill(zone_index, nlb)
+            assert status.ok, status
+            cpl = _mgmt(device, zone_index, ZoneAction.FINISH)
+            stats.record(cpl.latency_ns)
+            _mgmt(device, zone_index, ZoneAction.RESET)
+        result.add_row(
+            occupancy=level,
+            finish_ms=stats.mean_ns / 1e6,
+            p95_ms=stats.percentile_ns(95) / 1e6,
+        )
+    return result

@@ -1,0 +1,149 @@
+"""Terminal rendering of figure series: line charts and timelines.
+
+The paper's artifacts are figures; ours are terminal-friendly. This
+module renders any :class:`ExperimentResult`'s named ``series`` as an
+ASCII chart — multi-series scatter/line plots for the scaling figures
+and bar timelines for the Fig. 6 throughput traces — so the benchmark
+outputs carry the figures, not just the tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from .results import ExperimentResult
+
+__all__ = ["ascii_chart", "ascii_timeline", "render_figure"]
+
+_MARKS = "ox+*#@%&"
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000:
+        return f"{value:,.0f}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def ascii_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render named (x, y) series on a character grid.
+
+    Each series gets a marker from ``o x + * …``; overlapping points show
+    the later series' marker. Axes are linear (optionally log-x for QD
+    sweeps).
+    """
+    points = [(k, p) for k, pts in series.items() for p in pts]
+    if not points:
+        raise ValueError("no data points to chart")
+    xs = [p[0] for _, p in points]
+    ys = [p[1] for _, p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.05 or 1.0
+
+    def x_pos(x: float) -> int:
+        if x_hi == x_lo:
+            return 0
+        if log_x:
+            if x <= 0 or x_lo <= 0:
+                raise ValueError("log_x requires positive x values")
+            frac = (math.log(x) - math.log(x_lo)) / (math.log(x_hi) - math.log(x_lo))
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, round(frac * (width - 1)))
+
+    def y_pos(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, round(frac * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in pts:
+            grid[height - 1 - y_pos(y)][x_pos(x)] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(_format_tick(y_hi)), len(_format_tick(y_lo)))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _format_tick(y_hi)
+        elif row_index == height - 1:
+            label = _format_tick(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{_format_tick(x_lo)}{' ' * (width - len(_format_tick(x_lo)) - len(_format_tick(x_hi)))}{_format_tick(x_hi)}"
+    lines.append(" " * (label_width + 2) + x_axis)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"({ylabel} vs {xlabel})  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_timeline(
+    values: Sequence[float],
+    peak: Optional[float] = None,
+    label: str = "",
+) -> str:
+    """One-line bar timeline (the Fig. 6 throughput-over-time view)."""
+    if not values:
+        raise ValueError("no values to render")
+    top = peak if peak is not None else max(values) or 1.0
+    cells = []
+    for v in values:
+        idx = min(len(_BARS) - 1, int(max(0.0, v) / top * (len(_BARS) - 1) + 0.5))
+        cells.append(_BARS[idx])
+    prefix = f"{label} " if label else ""
+    return f"{prefix}[{''.join(cells)}] peak={_format_tick(top)}"
+
+
+#: Per-figure chart settings: (xlabel, ylabel, log_x).
+_FIGURE_AXES = {
+    "fig3": ("request KiB", "KIOPS", True),
+    "fig4a": ("queue depth", "KIOPS", True),
+    "fig4b": ("zones", "KIOPS", False),
+    "fig4c": ("concurrency", "MiB/s", False),
+    "fig8": ("MiB/s", "latency µs", False),
+}
+
+
+def render_figure(result: ExperimentResult, width: int = 64, height: int = 14) -> str:
+    """Best-effort chart of an experiment's series.
+
+    Figure results with (x, y) series render as charts; the Fig. 6
+    time series render as stacked timelines.
+    """
+    if not result.series:
+        raise ValueError(f"{result.experiment_id} has no series to render")
+    if result.experiment_id.startswith("fig6"):
+        lines = [f"[{result.experiment_id}] {result.title}"]
+        for name, pts in result.series.items():
+            values = [v for _, v in pts]
+            lines.append(ascii_timeline(values, peak=1_200.0, label=f"{name:<11}"))
+        return "\n".join(lines)
+    xlabel, ylabel, log_x = _FIGURE_AXES.get(
+        result.experiment_id, ("x", "y", False)
+    )
+    return ascii_chart(
+        result.series, width=width, height=height,
+        title=f"[{result.experiment_id}] {result.title}",
+        xlabel=xlabel, ylabel=ylabel, log_x=log_x,
+    )

@@ -1,0 +1,260 @@
+"""The paper's 13 observations as checkable predicates.
+
+Each ``check_obsN`` consumes the relevant experiment result(s) and
+returns an :class:`ObservationCheck` stating whether the simulated device
+reproduces the observation, with the supporting numbers. ``check_all``
+evaluates every observation for which results are supplied.
+
+These predicates are also what the emulator-fidelity harness (§IV,
+:mod:`repro.emulators.fidelity`) evaluates against each emulator's
+latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .results import ExperimentResult, render_table
+
+__all__ = ["ObservationCheck", "OBSERVATION_SUMMARIES", "check_all"] + [
+    f"check_obs{i}" for i in range(1, 14)
+]
+
+OBSERVATION_SUMMARIES = {
+    1: "The LBA format significantly impacts write and append latency",
+    2: "The SPDK storage stack delivers the lowest latencies",
+    3: "Write and append throughput depend on the request size",
+    4: "Writes have lower I/O latency than appends (up to ~23%)",
+    5: "Intra-zone parallelism achieves higher IOPS than inter-zone",
+    6: "Append throughput is agnostic to intra- vs inter-zone scaling",
+    7: "In one zone: reads scale best, then writes (merged), then appends",
+    8: "For >=8 KiB requests both strategies reach the device limit",
+    9: "Explicit and implicit opens cost the same; open/close are marginal",
+    10: "Zone occupancy strongly affects reset and finish latency",
+    11: "ZNS stays stable under write floods; conventional NVMe does not",
+    12: "Resets do not interfere with read/write/append latency",
+    13: "Read/write/append significantly inflate reset latency",
+}
+
+
+@dataclass
+class ObservationCheck:
+    obs_id: int
+    passed: bool
+    details: str
+
+    @property
+    def summary(self) -> str:
+        return OBSERVATION_SUMMARIES[self.obs_id]
+
+    def __str__(self) -> str:
+        status = "REPRODUCED" if self.passed else "NOT REPRODUCED"
+        return f"Obs #{self.obs_id:>2} [{status}] {self.summary} — {self.details}"
+
+
+def check_obs1(fig2a: ExperimentResult) -> ObservationCheck:
+    ratios = []
+    for op in ("write", "append"):
+        row512 = fig2a.find(lba_format="512B", stack="spdk", op=op)
+        row4k = fig2a.find(lba_format="4KiB", stack="spdk", op=op)
+        if row512 and row4k:
+            ratios.append(row512["latency_us"] / row4k["latency_us"])
+    passed = bool(ratios) and all(r > 1.2 for r in ratios)
+    return ObservationCheck(
+        1, passed,
+        f"512B/4KiB latency ratios: {', '.join(f'{r:.2f}x' for r in ratios)}",
+    )
+
+
+def check_obs2(fig2b: ExperimentResult) -> ObservationCheck:
+    spdk = fig2b.value("latency_us", lba_format="4KiB", stack="spdk", op="write")
+    none = fig2b.value("latency_us", lba_format="4KiB", stack="iouring-none", op="write")
+    mqd = fig2b.value(
+        "latency_us", lba_format="4KiB", stack="iouring-mq-deadline", op="write"
+    )
+    passed = spdk < none < mqd
+    return ObservationCheck(
+        2, passed,
+        f"write latency: spdk {spdk:.2f} < none {none:.2f} < mq-deadline {mqd:.2f} µs",
+    )
+
+
+def check_obs3(fig3: ExperimentResult) -> ObservationCheck:
+    write = dict(fig3.series["write"])
+    append = dict(fig3.series["append"])
+    write_peak_small = max(write[4], write[8]) >= max(write.values()) * 0.99
+    append_8_beats_4 = append[8] > append[4]
+    big_bw = [
+        row["bandwidth_mibs"]
+        for row in fig3.rows
+        if row["request_kib"] >= 32
+    ]
+    small_bw = fig3.value("bandwidth_mibs", op="write", request_kib=4)
+    passed = write_peak_small and append_8_beats_4 and min(big_bw) > small_bw
+    return ObservationCheck(
+        3, passed,
+        f"write IOPS peak at 4-8 KiB ({write[4]:.0f}K), append 4->8 KiB "
+        f"{append[4]:.0f}->{append[8]:.0f}K, bytes peak at large requests",
+    )
+
+
+def check_obs4(fig2b: ExperimentResult) -> ObservationCheck:
+    write = fig2b.value("latency_us", lba_format="4KiB", stack="spdk", op="write")
+    append = fig2b.value("latency_us", lba_format="4KiB", stack="spdk", op="append")
+    gap = (append - write) / append
+    passed = write < append and 0.10 < gap < 0.40
+    return ObservationCheck(
+        4, passed,
+        f"4 KiB write {write:.2f} µs vs 8 KiB append {append:.2f} µs "
+        f"({gap * 100:.1f}% lower; paper: 23.42%)",
+    )
+
+
+def _series_max(result: ExperimentResult, op: str) -> float:
+    return max(v for _, v in result.series[op])
+
+
+def check_obs5(fig4a: ExperimentResult, fig4b: ExperimentResult) -> ObservationCheck:
+    intra_read, inter_read = _series_max(fig4a, "read"), _series_max(fig4b, "read")
+    intra_write, inter_write = _series_max(fig4a, "write"), _series_max(fig4b, "write")
+    passed = intra_read > inter_read and intra_write > inter_write
+    return ObservationCheck(
+        5, passed,
+        f"read intra {intra_read:.0f}K > inter {inter_read:.0f}K; "
+        f"write intra {intra_write:.0f}K > inter {inter_write:.0f}K",
+    )
+
+
+def check_obs6(fig4a: ExperimentResult, fig4b: ExperimentResult) -> ObservationCheck:
+    intra = _series_max(fig4a, "append")
+    inter = _series_max(fig4b, "append")
+    passed = abs(intra - inter) / max(intra, inter) < 0.10
+    return ObservationCheck(
+        6, passed,
+        f"append plateau: intra {intra:.0f}K vs inter {inter:.0f}K KIOPS",
+    )
+
+
+def check_obs7(fig4a: ExperimentResult) -> ObservationCheck:
+    read = _series_max(fig4a, "read")
+    write = _series_max(fig4a, "write")
+    append = _series_max(fig4a, "append")
+    passed = read > write > append and write > 200
+    return ObservationCheck(
+        7, passed,
+        f"intra-zone peaks: read {read:.0f}K > write {write:.0f}K (merged) "
+        f"> append {append:.0f}K KIOPS",
+    )
+
+
+def check_obs8(fig4c: ExperimentResult, device_limit_mibs: float = 1_128.0) -> ObservationCheck:
+    checks = []
+    for key in ("append-8k", "write-8k", "append-16k", "write-16k"):
+        series = dict(fig4c.series[key])
+        at4 = max(v for c, v in series.items() if c <= 4)
+        checks.append(at4 >= 0.9 * device_limit_mibs)
+    small_cap = max(v for _, v in fig4c.series["write-4k"])
+    passed = all(checks) and small_cap < 0.75 * device_limit_mibs
+    return ObservationCheck(
+        8, passed,
+        f">=8 KiB requests reach ~{device_limit_mibs:.0f} MiB/s by concurrency 4; "
+        f"4 KiB writes cap at {small_cap:.0f} MiB/s (paper: 726.74)",
+    )
+
+
+def check_obs9(obs9: ExperimentResult) -> ObservationCheck:
+    open_us = obs9.value("latency_us", quantity="explicit open")
+    close_us = obs9.value("latency_us", quantity="close")
+    wpen = obs9.value("latency_us", quantity="implicit-open write penalty")
+    apen = obs9.value("latency_us", quantity="implicit-open append penalty")
+    passed = open_us < 20 and close_us < 20 and 0.5 < wpen < 5 and 0.5 < apen < 5
+    return ObservationCheck(
+        9, passed,
+        f"open {open_us:.2f} µs, close {close_us:.2f} µs, implicit penalties "
+        f"write {wpen:.2f} / append {apen:.2f} µs — all marginal",
+    )
+
+
+def check_obs10(fig5a: ExperimentResult, fig5b: ExperimentResult) -> ObservationCheck:
+    resets = [r["reset_ms"] for r in fig5a.rows if not r["finished_first"]]
+    finishes = fig5b.column("finish_ms")
+    # 5% slack: adjacent occupancy levels differ by less than the
+    # management-latency jitter at small sample counts.
+    reset_monotone = all(a <= b * 1.05 for a, b in zip(resets, resets[1:]))
+    finish_monotone = all(a >= b * 0.95 for a, b in zip(finishes, finishes[1:]))
+    span = finishes[0] / finishes[-1]
+    passed = reset_monotone and finish_monotone and span > 50
+    return ObservationCheck(
+        10, passed,
+        f"reset grows {resets[0]:.1f}->{resets[-1]:.1f} ms with occupancy; "
+        f"finish shrinks {finishes[0]:.0f}->{finishes[-1]:.2f} ms ({span:.0f}x)",
+    )
+
+
+def check_obs11(fig6: ExperimentResult) -> ObservationCheck:
+    zns_cov = fig6.value("cov", device="zns", metric="write")
+    conv_cov = fig6.value("cov", device="conv", metric="write")
+    zns_read = fig6.value("mean_mibs", device="zns", metric="read")
+    conv_read = fig6.value("mean_mibs", device="conv", metric="read")
+    passed = zns_cov < 0.1 and conv_cov > 0.3 and zns_read > 2 * conv_read
+    return ObservationCheck(
+        11, passed,
+        f"write stability (CoV): zns {zns_cov:.2f} vs conv {conv_cov:.2f}; "
+        f"read under flood: zns {zns_read:.2f} vs conv {conv_read:.2f} MiB/s "
+        f"({zns_read / conv_read if conv_read else float('inf'):.1f}x, paper: 3x)",
+    )
+
+
+def check_obs12(fig7: ExperimentResult, baselines_us: Optional[dict] = None) -> ObservationCheck:
+    """I/O latency during resets matches its no-reset baseline."""
+    baselines_us = baselines_us or {"write": 11.36, "append": 15.64}
+    details, ok = [], True
+    for op, base in baselines_us.items():
+        measured = fig7.value("io_mean_latency_us", concurrent_op=op)
+        drift = abs(measured - base) / base
+        ok &= drift < 0.08
+        details.append(f"{op} {measured:.2f} µs (baseline {base:.2f})")
+    return ObservationCheck(12, ok, "; ".join(details))
+
+
+def check_obs13(fig7: ExperimentResult) -> ObservationCheck:
+    isolated = fig7.value("reset_p95_ms", concurrent_op="none")
+    inflations = {
+        op: fig7.value("reset_p95_ms", concurrent_op=op) / isolated
+        for op in ("read", "write", "append")
+    }
+    passed = all(v > 1.3 for v in inflations.values())
+    return ObservationCheck(
+        13, passed,
+        f"reset p95 {isolated:.1f} ms isolated; inflation "
+        + ", ".join(f"{op} {v:.2f}x" for op, v in inflations.items())
+        + " (paper: 1.56x/1.78x/1.76x)",
+    )
+
+
+#: Which experiment ids each observation consumes.
+_CHECKERS: dict[int, tuple[Callable, tuple[str, ...]]] = {
+    1: (check_obs1, ("fig2a",)),
+    2: (check_obs2, ("fig2b",)),
+    3: (check_obs3, ("fig3",)),
+    4: (check_obs4, ("fig2b",)),
+    5: (check_obs5, ("fig4a", "fig4b")),
+    6: (check_obs6, ("fig4a", "fig4b")),
+    7: (check_obs7, ("fig4a",)),
+    8: (check_obs8, ("fig4c",)),
+    9: (check_obs9, ("obs9",)),
+    10: (check_obs10, ("fig5a", "fig5b")),
+    11: (check_obs11, ("fig6",)),
+    12: (check_obs12, ("fig7",)),
+    13: (check_obs13, ("fig7",)),
+}
+
+
+def check_all(results: dict[str, ExperimentResult]) -> list[ObservationCheck]:
+    """Evaluate every observation whose inputs are present in ``results``."""
+    checks = []
+    for obs_id, (fn, needed) in sorted(_CHECKERS.items()):
+        if all(k in results for k in needed):
+            checks.append(fn(*(results[k] for k in needed)))
+    return checks

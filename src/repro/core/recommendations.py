@@ -1,0 +1,75 @@
+"""The paper's five developer recommendations (Table I + §III).
+
+Each recommendation links to the observations that support it, so a
+recommendation is "validated" on a device exactly when its supporting
+observations reproduce there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .observations import ObservationCheck
+
+__all__ = ["Recommendation", "RECOMMENDATIONS", "validate"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    rec_id: int
+    category: str
+    text: str
+    supported_by: tuple[int, ...]  # observation ids
+
+    def validated(self, checks: dict[int, ObservationCheck]) -> bool:
+        """True when every supporting observation reproduced."""
+        return all(
+            checks[obs].passed for obs in self.supported_by if obs in checks
+        )
+
+
+RECOMMENDATIONS: tuple[Recommendation, ...] = (
+    Recommendation(
+        1, "Append vs. write",
+        "Use write instead of append operations for low I/O latencies "
+        "(differences can be as much as 23%), and use the SPDK storage "
+        "stack since it delivers the lowest I/O latencies.",
+        supported_by=(1, 2, 4),
+    ),
+    Recommendation(
+        2, "Scalability",
+        "Prefer intra-zone to inter-zone parallelism; the former is ideal "
+        "for append and read operations, while the latter is best suited "
+        "for write operations. Issue I/O at large request sizes "
+        "(>= 8 KiB), as larger requests scale better with concurrency.",
+        supported_by=(3, 5, 6, 7, 8),
+    ),
+    Recommendation(
+        3, "Zone transitions",
+        "Avoid the finish operation (more so than a reset), especially "
+        "for partially written zones; minimize zones needing finish by "
+        "leveraging intra-zone parallelism.",
+        supported_by=(9, 10),
+    ),
+    Recommendation(
+        4, "I/O interference",
+        "Measure the peak read/write performance of the ZNS device and "
+        "provision application storage needs around it; no need to "
+        "account for GC-induced performance fluctuations.",
+        supported_by=(11,),
+    ),
+    Recommendation(
+        5, "I/O & GC interference",
+        "Resets can be issued concurrently with read/write/append since "
+        "they do not impact I/O latency; reset latency itself inflates "
+        "under concurrent I/O, but resets are per-zone and sporadic "
+        "(about one per second at full write bandwidth).",
+        supported_by=(12, 13),
+    ),
+)
+
+
+def validate(checks: list[ObservationCheck]) -> list[tuple[Recommendation, bool]]:
+    """Pair each recommendation with whether its evidence reproduced."""
+    by_id = {c.obs_id: c for c in checks}
+    return [(rec, rec.validated(by_id)) for rec in RECOMMENDATIONS]

@@ -1,0 +1,85 @@
+"""Experiment result containers: rows, series, and table rendering.
+
+Every experiment driver returns an :class:`ExperimentResult` whose rows
+print as the paper's tables/figure series and whose fields feed the
+observation predicates in :mod:`repro.core.observations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+__all__ = ["ExperimentResult", "render_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(columns: list[str], rows: Iterable[dict], title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one paper experiment (table or figure)."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    #: Named (x, y) series for figure-style results.
+    series: dict[str, list[tuple]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def add_row(self, **cells: Any) -> None:
+        self.rows.append(cells)
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+    def find(self, **criteria: Any) -> Optional[dict]:
+        """First row matching all key=value criteria."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                return row
+        return None
+
+    def value(self, column: str, **criteria: Any) -> Any:
+        row = self.find(**criteria)
+        if row is None:
+            raise KeyError(f"no row matching {criteria} in {self.experiment_id}")
+        return row[column]
+
+    def table(self) -> str:
+        text = render_table(self.columns, self.rows, title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def __str__(self) -> str:
+        return self.table()

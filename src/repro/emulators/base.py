@@ -1,0 +1,46 @@
+"""Emulator latency models (§IV), expressed in the shared device skeleton.
+
+The paper analyses which of its observations the public ZNS emulators can
+reproduce, as a function of their *latency models* — not their QEMU/
+kernel plumbing. We therefore re-implement each emulator's latency model
+as a :class:`repro.zns.profiles.DeviceProfile` transformation plugged
+into the same device skeleton, and measure which observations survive.
+
+Each model is an :class:`EmulatorModel` with a profile factory; the
+fidelity harness (:mod:`repro.emulators.fidelity`) instantiates a device
+per model and probes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..hostif.namespace import LBA_4K
+from ..sim.engine import Simulator
+from ..sim.rng import StreamFactory
+from ..zns.device import ZnsDevice
+from ..zns.profiles import DeviceProfile
+
+__all__ = ["EmulatorModel"]
+
+
+@dataclass(frozen=True)
+class EmulatorModel:
+    """One emulator's latency model."""
+
+    name: str
+    description: str
+    profile_factory: Callable[[], DeviceProfile]
+    #: Observations §IV expects this model to reproduce (used in reports
+    #: to compare our measured matrix against the paper's claims).
+    paper_expected: frozenset[int]
+
+    def build(self, seed: int = 0x5EED) -> tuple[Simulator, ZnsDevice]:
+        """A fresh simulator + device running this latency model."""
+        sim = Simulator()
+        device = ZnsDevice(
+            sim, self.profile_factory(), lba_format=LBA_4K,
+            streams=StreamFactory(seed),
+        )
+        return sim, device

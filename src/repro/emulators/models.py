@@ -1,0 +1,146 @@
+"""The four latency models compared in §IV.
+
+* **FEMU** — "currently makes no attempt at emulating ZNS SSD request
+  latency, and requests are as fast as the underlying hardware (CPU and
+  DRAM) permits": every cost shrinks to sub-microsecond host speed, and
+  zone transitions are DRAM metadata updates.
+* **NVMeVirt** — "a latency model that is shown to be reasonably accurate
+  for ZNS devices ... [but] uses the same latency model for both append
+  and write operations", sets reset latency "static and equal to NAND
+  erasure latency", and "does not emulate timing for the other zone
+  management operations at all".
+* **ConfZNS** — accurate channel/die timing for reads and writes
+  (inter- and intra-zone), but — like NVMeVirt — no append
+  differentiation and no zone-transition model.
+* **this-work** — the paper-calibrated ZN540 model from
+  :mod:`repro.zns.profiles` (what the paper recommends emulators adopt).
+"""
+
+from __future__ import annotations
+
+from ..flash.geometry import GIB, MIB
+from ..flash.nand import NandTiming
+from ..sim.engine import ms, us
+from ..zns.profiles import zn540
+from .base import EmulatorModel
+
+__all__ = ["FEMU", "NVMEVIRT", "CONFZNS", "THIS_WORK", "ALL_MODELS"]
+
+#: Zones kept on fidelity-probe devices (latency-irrelevant).
+_PROBE_ZONES = 32
+
+
+def _femu_profile():
+    base = zn540(num_zones=_PROBE_ZONES)
+    return base.scaled(
+        name="FEMU (no ZNS latency model)",
+        nand=NandTiming(read_ns=1_000, program_ns=1_000, erase_ns=1_000),
+        channel_bandwidth=64 * GIB,
+        cmd_read_ns=200,
+        cmd_write_ns=200,
+        cmd_append_small_ns=200,
+        cmd_append_large_ns=200,
+        per_lba_ns_4k=0,
+        per_lba_ns_512=0,
+        subpage_penalty_ns=0,
+        dma_bandwidth=64 * GIB,
+        write_admit_ns=200,
+        append_alloc_ns=0,
+        implicit_open_write_ns=0,
+        implicit_open_append_ns=0,
+        zone_open_ns=300,
+        zone_close_ns=300,
+        reset_base_ns=us(20),     # DRAM metadata update
+        reset_span_ns=0,
+        reset_pad_span_ns=0,
+        finish_floor_ns=us(20),   # "unrealistically fast ... in DRAM"
+        finish_pad_bandwidth=1 << 50,  # metadata-only: no pad time
+        fw_read_ns=0,
+        fw_write_ns=0,
+        fw_append_ns=0,
+        jitter_sigma=0.0,
+        mgmt_jitter_sigma=0.0,
+    )
+
+
+def _nvmevirt_profile():
+    base = zn540(num_zones=_PROBE_ZONES)
+    return base.scaled(
+        name="NVMeVirt (append==write, static reset)",
+        # append uses the write latency model verbatim.
+        cmd_append_small_ns=base.cmd_write_ns,
+        cmd_append_large_ns=base.cmd_write_ns,
+        append_alloc_ns=0,
+        implicit_open_write_ns=0,
+        implicit_open_append_ns=0,
+        # Zone management: reset is a static NAND-erase latency; the
+        # other transitions are not emulated at all.
+        zone_open_ns=1_000,
+        zone_close_ns=1_000,
+        reset_base_ns=ms(3.5),
+        reset_span_ns=0,
+        reset_pad_span_ns=0,
+        finish_floor_ns=1_000,
+        finish_pad_bandwidth=1 << 50,  # finish timing not emulated
+        # No firmware-contention model: I/O cannot perturb management.
+        fw_read_ns=0,
+        fw_write_ns=0,
+        fw_append_ns=0,
+    )
+
+
+def _confzns_profile():
+    base = zn540(num_zones=_PROBE_ZONES)
+    return base.scaled(
+        name="ConfZNS (accurate read/write parallelism)",
+        cmd_append_small_ns=base.cmd_write_ns,
+        cmd_append_large_ns=base.cmd_write_ns,
+        append_alloc_ns=0,
+        implicit_open_write_ns=0,
+        implicit_open_append_ns=0,
+        zone_open_ns=1_000,
+        zone_close_ns=1_000,
+        reset_base_ns=ms(3.5),
+        reset_span_ns=0,
+        reset_pad_span_ns=0,
+        finish_floor_ns=1_000,
+        finish_pad_bandwidth=1 << 50,  # finish timing not emulated
+        fw_read_ns=0,
+        fw_write_ns=0,
+        fw_append_ns=0,
+    )
+
+
+def _this_work_profile():
+    return zn540(num_zones=_PROBE_ZONES)
+
+
+FEMU = EmulatorModel(
+    name="femu",
+    description="no latency emulation; host-speed completions",
+    profile_factory=_femu_profile,
+    paper_expected=frozenset(),  # §IV: "cannot accurately reproduce any"
+)
+
+NVMEVIRT = EmulatorModel(
+    name="nvmevirt",
+    description="read/write timing model; append==write; static reset",
+    profile_factory=_nvmevirt_profile,
+    paper_expected=frozenset({3, 7, 8}),  # accurate for read/write only
+)
+
+CONFZNS = EmulatorModel(
+    name="confzns",
+    description="accurate read/write parallelism; no append/transition model",
+    profile_factory=_confzns_profile,
+    paper_expected=frozenset({3, 5, 7, 8}),
+)
+
+THIS_WORK = EmulatorModel(
+    name="this-work",
+    description="paper-calibrated ZN540 model (reference)",
+    profile_factory=_this_work_profile,
+    paper_expected=frozenset(range(3, 14)) - {11},
+)
+
+ALL_MODELS = (FEMU, NVMEVIRT, CONFZNS, THIS_WORK)

@@ -1,0 +1,15 @@
+"""NAND flash substrate: geometry, timing, and the event-driven array."""
+
+from .backend import FlashBackend, FlashCounters
+from .geometry import GIB, KIB, MIB, FlashGeometry
+from .nand import NandTiming
+
+__all__ = [
+    "FlashBackend",
+    "FlashCounters",
+    "FlashGeometry",
+    "GIB",
+    "KIB",
+    "MIB",
+    "NandTiming",
+]

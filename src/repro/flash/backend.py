@@ -1,0 +1,140 @@
+"""Event-driven NAND flash array: dies and channel buses as resources.
+
+The backend is the *shared physical substrate* under both the ZNS device
+model and the conventional-SSD model. Each die is a single-server
+resource (one NAND operation at a time); each channel is a single-server
+bus with a finite transfer bandwidth. Contention at these resources is
+what produces the interference effects the paper measures: user reads
+queueing behind GC programs (§III-F), and saturation of the aggregate
+program bandwidth (§III-D).
+
+The backend is addressed at die granularity — logical-to-physical page
+bookkeeping belongs to the FTLs layered above it — which keeps the hot
+event loop small while preserving every queueing effect.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.engine import Simulator
+from ..sim.resources import Resource
+from .geometry import MIB, FlashGeometry
+from .nand import NandTiming
+
+__all__ = ["FlashBackend", "FlashCounters"]
+
+
+class FlashCounters:
+    """Operation counters for a backend (reads/programs/erases)."""
+
+    __slots__ = ("pages_read", "pages_programmed", "blocks_erased")
+
+    def __init__(self) -> None:
+        self.pages_read = 0
+        self.pages_programmed = 0
+        self.blocks_erased = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "pages_read": self.pages_read,
+            "pages_programmed": self.pages_programmed,
+            "blocks_erased": self.blocks_erased,
+        }
+
+
+class FlashBackend:
+    """The NAND array: per-die execution units and per-channel buses."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: FlashGeometry,
+        timing: NandTiming,
+        channel_bandwidth: int = 800 * MIB,
+    ):
+        if channel_bandwidth <= 0:
+            raise ValueError(f"channel bandwidth must be positive, got {channel_bandwidth}")
+        self.sim = sim
+        self.geometry = geometry
+        self.timing = timing
+        self.channel_bandwidth = channel_bandwidth
+        self.dies = [
+            Resource(sim, capacity=1, name=f"die{i}") for i in range(geometry.total_dies)
+        ]
+        self.buses = [
+            Resource(sim, capacity=1, name=f"bus{i}") for i in range(geometry.channels)
+        ]
+        self.counters = FlashCounters()
+        self._die_busy_ns = [0] * geometry.total_dies
+
+    # -- helpers -----------------------------------------------------------
+    def transfer_ns(self, nbytes: int) -> int:
+        """Time to move ``nbytes`` across one channel bus."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return round(nbytes * 1e9 / self.channel_bandwidth)
+
+    def die_queue_depth(self, die_index: int) -> int:
+        """Operations queued or executing at a die (congestion signal)."""
+        die = self.dies[die_index]
+        return die.in_use + die.queue_length
+
+    def die_busy_ns(self, die_index: int) -> int:
+        """Cumulative busy time of a die (for utilization accounting)."""
+        return self._die_busy_ns[die_index]
+
+    def aggregate_program_bandwidth(self) -> float:
+        """Raw program bandwidth ceiling in bytes/second."""
+        return self.timing.program_bandwidth(self.geometry)
+
+    # -- physical operations (generator processes) ---------------------------
+    def read_page(self, die_index: int, priority: int = 0,
+                  transfer_bytes: int | None = None) -> Generator:
+        """NAND page read: sense on the die, then stream out on the bus.
+
+        ``transfer_bytes`` limits the bus transfer to the requested slice
+        of the page (a 4 KiB read senses a whole page but only moves
+        4 KiB over the channel).
+        """
+        die = self.dies[die_index]
+        req = die.request(priority)
+        yield req
+        start = self.sim.now
+        yield self.sim.timeout(self.timing.read_ns)
+        self._die_busy_ns[die_index] += self.sim.now - start
+        die.release(req)
+        bus = self.buses[self.geometry.channel_of_die(die_index)]
+        breq = bus.request(priority)
+        yield breq
+        nbytes = self.geometry.page_size if transfer_bytes is None else transfer_bytes
+        yield self.sim.timeout(self.transfer_ns(nbytes))
+        bus.release(breq)
+        self.counters.pages_read += 1
+
+    def program_page(self, die_index: int, priority: int = 0) -> Generator:
+        """NAND page program: stream in on the bus, then program the die."""
+        bus = self.buses[self.geometry.channel_of_die(die_index)]
+        breq = bus.request(priority)
+        yield breq
+        yield self.sim.timeout(self.transfer_ns(self.geometry.page_size))
+        bus.release(breq)
+        die = self.dies[die_index]
+        req = die.request(priority)
+        yield req
+        start = self.sim.now
+        yield self.sim.timeout(self.timing.program_ns)
+        self._die_busy_ns[die_index] += self.sim.now - start
+        die.release(req)
+        self.counters.pages_programmed += 1
+
+    def erase_block(self, die_index: int, priority: int = 0) -> Generator:
+        """NAND block erase: occupies the die for the (long) erase time."""
+        die = self.dies[die_index]
+        req = die.request(priority)
+        yield req
+        start = self.sim.now
+        yield self.sim.timeout(self.timing.erase_ns)
+        self._die_busy_ns[die_index] += self.sim.now - start
+        die.release(req)
+        self.counters.blocks_erased += 1

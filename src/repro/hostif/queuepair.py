@@ -1,0 +1,64 @@
+"""Submission/completion queue pair between a host stack and a device.
+
+The queue pair enforces the queue depth (the paper's QD) and stamps each
+command with its submission time — latency is measured "from the moment a
+request is submitted on the NVMe submission queue until [it] is completed
+and visible on the NVMe completion queue" (§III-B), which is exactly the
+interval :class:`repro.hostif.commands.Completion.latency_ns` reports.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Protocol
+
+from ..sim.engine import Event, Simulator
+from ..sim.resources import Resource
+from .commands import Command, Completion
+
+__all__ = ["DeviceTarget", "QueuePair"]
+
+
+class DeviceTarget(Protocol):
+    """Anything that executes NVMe commands (devices, emulator models)."""
+
+    sim: Simulator
+
+    def submit(self, command: Command) -> Event:
+        """Begin executing a command; the event fires with a Completion."""
+        ...
+
+
+class QueuePair:
+    """A QD-limited path from a host thread to a device."""
+
+    def __init__(self, device: DeviceTarget, depth: int = 1):
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.device = device
+        self.sim = device.sim
+        self.depth = depth
+        self._slots = Resource(self.sim, capacity=depth, name="qp")
+        self.submitted = 0
+        self.completed = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._slots.in_use
+
+    def submit(self, command: Command) -> Generator:
+        """Submit one command, blocking while the queue is full.
+
+        Yields until completion; returns the :class:`Completion`. The
+        submission timestamp is taken when the command enters the
+        submission queue (i.e. after any QD wait), matching §III-B.
+        """
+        slot = self._slots.request()
+        yield slot
+        command.submitted_at = self.sim.now
+        self.submitted += 1
+        try:
+            completion: Completion = yield self.device.submit(command)
+        finally:
+            self._slots.release(slot)
+        self.completed += 1
+        return completion

@@ -1,0 +1,40 @@
+"""NVMe(-ZNS) completion status codes used by the device models.
+
+A pragmatic subset of the NVMe base + Zoned Namespace Command Set status
+values — every error path the paper's experiments can hit is represented.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Status", "StatusError"]
+
+
+class Status(Enum):
+    """Completion status of an NVMe command."""
+
+    SUCCESS = "success"
+    INVALID_FIELD = "invalid_field"
+    LBA_OUT_OF_RANGE = "lba_out_of_range"
+    ZONE_BOUNDARY_ERROR = "zone_boundary_error"
+    ZONE_IS_FULL = "zone_is_full"
+    ZONE_IS_READ_ONLY = "zone_is_read_only"
+    ZONE_IS_OFFLINE = "zone_is_offline"
+    ZONE_INVALID_WRITE = "zone_invalid_write"
+    TOO_MANY_ACTIVE_ZONES = "too_many_active_zones"
+    TOO_MANY_OPEN_ZONES = "too_many_open_zones"
+    INVALID_ZONE_STATE_TRANSITION = "invalid_zone_state_transition"
+
+    @property
+    def ok(self) -> bool:
+        return self is Status.SUCCESS
+
+
+class StatusError(RuntimeError):
+    """Raised by helpers that insist on a successful completion."""
+
+    def __init__(self, status: Status, detail: str = ""):
+        super().__init__(f"{status.value}{': ' + detail if detail else ''}")
+        self.status = status
+        self.detail = detail

@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel (clock, processes, resources, RNG)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+    ms,
+    sec,
+    us,
+)
+from .resources import Container, Request, Resource, Store
+from .rng import LatencySampler, StreamFactory
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "LatencySampler",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "StreamFactory",
+    "Timeout",
+    "ms",
+    "sec",
+    "us",
+]

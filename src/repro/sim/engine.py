@@ -1,0 +1,386 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a minimal, deterministic event-driven simulator in the style
+of SimPy: *processes* are Python generators that ``yield`` events
+(timeouts, resource requests, other processes), and the engine advances a
+simulated clock from event to event.
+
+Simulated time is kept in **integer nanoseconds**. Integer time makes the
+simulation exactly reproducible (no floating-point drift in comparisons)
+and gives sub-nanosecond-free semantics for the microsecond-scale device
+latencies this package models. Use the :func:`us`, :func:`ms` and
+:func:`sec` helpers to construct durations.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a run
+with the same seed and inputs always produces the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "us",
+    "ms",
+    "sec",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+#: Number of nanoseconds per microsecond/millisecond/second.
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer simulated nanoseconds."""
+    return round(value * NS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer simulated nanoseconds."""
+    return round(value * NS_PER_MS)
+
+
+def sec(value: float) -> int:
+    """Convert seconds to integer simulated nanoseconds."""
+    return round(value * NS_PER_S)
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value supplied to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *untriggered*; :meth:`succeed` or :meth:`fail` triggers
+    it, after which its callbacks run (at the current simulation step) and
+    waiting processes resume. Events may carry a ``value`` (delivered as
+    the result of the ``yield``) or an exception (raised in the waiter).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (not failed)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._triggered = True
+        self.sim._push(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, raised in all waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._triggered = True
+        self.sim._push(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = int(delay)
+        self._value = value
+        self._triggered = True
+        sim._push(self, delay=self.delay)
+
+
+class Process(Event):
+    """A running generator-based process.
+
+    A process is itself an event that fires when the generator returns
+    (successfully, with the generator's return value) or raises (failed
+    with the exception). ``yield``-ing a process therefore waits for its
+    completion.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at the current time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event first.
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup.callbacks.append(lambda _: self._throw(Interrupt(cause)))
+        wakeup.succeed()
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._exception is not None:
+            self._throw(event._exception)
+        else:
+            self._advance(self.generator.send, event._value)
+
+    def _throw(self, exc: BaseException) -> None:
+        self._advance(self.generator.throw, exc)
+
+    def _advance(self, step: Callable, arg: Any) -> None:
+        try:
+            target = step(arg)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate into event
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target._processed:
+            # Already completed: resume immediately (same timestep).
+            wakeup = Event(self.sim)
+            wakeup._value = target._value
+            wakeup._exception = target._exception
+            wakeup.callbacks.append(self._resume)
+            wakeup._triggered = True
+            self.sim._push(wakeup)
+            self._waiting_on = wakeup
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event._processed:
+                self._on_child(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._on_child)
+        self._check_start()
+
+    def _check_start(self) -> None:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e._processed and e._exception is None}
+
+
+class AnyOf(_Condition):
+    """Fires when any child event fires (value: dict of fired events)."""
+
+    __slots__ = ()
+
+    def _check_start(self) -> None:
+        if not self._triggered and any(e._processed for e in self.events):
+            self.succeed(self._collect())
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all child events fire (value: dict of all values)."""
+
+    __slots__ = ()
+
+    def _check_start(self) -> None:
+        if not self._triggered and self._pending == 0:
+            self.succeed(self._collect())
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The discrete-event engine: a clock plus a time-ordered event heap."""
+
+    def __init__(self):
+        self._now = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` nanoseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator as a process; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _push(self, event: Event, delay: int = 0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` nanoseconds."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _: callback())
+        return event
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run until the heap empties, a deadline passes, or an event fires.
+
+        ``until`` may be an absolute time in nanoseconds or an
+        :class:`Event`; when an event is given its value is returned.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation ran out of events before {stop!r} fired"
+                    )
+                self.step()
+            return stop.value
+        deadline = None if until is None else int(until)
+        while self._heap:
+            when = self._heap[0][0]
+            if deadline is not None and when > deadline:
+                self._now = deadline
+                return None
+            self.step()
+        if deadline is not None:
+            self._now = max(self._now, deadline)
+        return None

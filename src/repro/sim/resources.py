@@ -1,0 +1,204 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three primitives cover every contention point in the device models:
+
+* :class:`Resource` — a server with fixed capacity and a FIFO (or
+  priority-ordered) queue of acquire requests. Models controller slots,
+  NAND dies, channel buses, and the firmware management unit.
+* :class:`Container` — a reservoir of continuous "stuff" (bytes) with
+  blocking put/get. Models the device write buffer.
+* :class:`Store` — a FIFO queue of discrete items with blocking get.
+  Models command queues between pipeline stages.
+
+Priority semantics on :class:`Resource`: lower numeric priority is served
+first; ties are FIFO. This is how the ZNS firmware unit prioritizes I/O
+commands over background ``reset`` metadata work (paper §III-G).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "Container", "Store"]
+
+
+class Request(Event):
+    """An acquire request; fires when the resource grants a slot."""
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self._order = 0
+
+    def __lt__(self, other: "Request") -> bool:
+        return (self.priority, self._order) < (other.priority, other._order)
+
+
+class Resource:
+    """A capacity-limited server with a priority/FIFO request queue."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: set[Request] = set()
+        self._queue: list[Request] = []
+        self._counter = 0
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    # -- protocol ----------------------------------------------------------
+    def request(self, priority: int = 0) -> Request:
+        """Ask for a slot; yield the returned event to block until granted."""
+        req = Request(self, priority)
+        self._counter += 1
+        req._order = self._counter
+        heapq.heappush(self._queue, req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant()
+            return
+        # Allow cancelling a queued (never-granted) request.
+        try:
+            self._queue.remove(request)
+            heapq.heapify(self._queue)
+        except ValueError:
+            raise SimulationError("release() of a request that holds no slot")
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = heapq.heappop(self._queue)
+            self._users.add(req)
+            req.succeed(req)
+
+
+class _ContainerOp(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, sim: Simulator, amount: int):
+        super().__init__(sim)
+        self.amount = amount
+
+
+class Container:
+    """A byte reservoir with blocking put (when full) and get (when empty)."""
+
+    def __init__(self, sim: Simulator, capacity: int, init: int = 0, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("container init level out of range")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._level = init
+        self._puts: list[_ContainerOp] = []
+        self._gets: list[_ContainerOp] = []
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def put(self, amount: int) -> Event:
+        """Add ``amount``; blocks while it would overflow the capacity."""
+        if amount < 0:
+            raise SimulationError("container put amount must be >= 0")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"put of {amount} can never fit capacity {self.capacity}"
+            )
+        op = _ContainerOp(self.sim, amount)
+        self._puts.append(op)
+        self._settle()
+        return op
+
+    def get(self, amount: int) -> Event:
+        """Remove ``amount``; blocks until that much is available."""
+        if amount < 0:
+            raise SimulationError("container get amount must be >= 0")
+        op = _ContainerOp(self.sim, amount)
+        self._gets.append(op)
+        self._settle()
+        return op
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and self._level + self._puts[0].amount <= self.capacity:
+                op = self._puts.pop(0)
+                self._level += op.amount
+                op.succeed(op.amount)
+                progressed = True
+            if self._gets and self._level >= self._gets[0].amount:
+                op = self._gets.pop(0)
+                self._level -= op.amount
+                op.succeed(op.amount)
+                progressed = True
+
+
+class Store:
+    """An unbounded (or bounded) FIFO queue of discrete items."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Event, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Append an item; blocks only when a capacity bound is hit."""
+        op = Event(self.sim)
+        self._putters.append((op, item))
+        self._settle()
+        return op
+
+    def get(self) -> Event:
+        """Pop the oldest item; blocks while the store is empty."""
+        op = Event(self.sim)
+        self._getters.append(op)
+        self._settle()
+        return op
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and (
+                self.capacity is None or len(self._items) < self.capacity
+            ):
+                op, item = self._putters.pop(0)
+                self._items.append(item)
+                op.succeed(item)
+                progressed = True
+            while self._getters and self._items:
+                op = self._getters.pop(0)
+                op.succeed(self._items.pop(0))
+                progressed = True

@@ -1,0 +1,15 @@
+"""Host storage stacks: SPDK-like and io_uring-like (with mq-deadline)."""
+
+from .base import StackStats, StorageStack, UnsupportedOperation
+from .iouring import IoUringStack
+from .scheduler import MqDeadlineScheduler
+from .spdk import SpdkStack
+
+__all__ = [
+    "IoUringStack",
+    "MqDeadlineScheduler",
+    "SpdkStack",
+    "StackStats",
+    "StorageStack",
+    "UnsupportedOperation",
+]

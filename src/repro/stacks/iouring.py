@@ -1,0 +1,65 @@
+"""The Linux io_uring block-layer stack (with optional mq-deadline).
+
+Calibration (Observation #2): kernel writes without a scheduler complete
+in 12.62 µs vs 10.79 µs of device time → ~1.83 µs of block-layer + ring
+overhead. The mq-deadline scheduler adds 1.85 µs more (paper: "1.85 µs
+out of 14.47 µs, or 12.81 %") and enables per-zone write queueing with
+merging.
+
+Like fio through the kernel, this stack cannot issue ``append`` or
+zone-management commands — use SPDK for those (paper §III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hostif.commands import Command, Opcode
+from ..hostif.queuepair import DeviceTarget
+from ..sim.engine import Event
+from .base import StorageStack, UnsupportedOperation
+from .scheduler import MqDeadlineScheduler
+
+__all__ = ["IoUringStack"]
+
+
+class IoUringStack(StorageStack):
+    name = "io_uring"
+
+    def __init__(self, device: DeviceTarget, scheduler: Optional[str] = "none",
+                 max_merge_bytes: Optional[int] = None):
+        super().__init__(device, submit_overhead_ns=1_230, complete_overhead_ns=600)
+        if scheduler in (None, "none"):
+            self.scheduler = None
+        elif scheduler == "mq-deadline":
+            kwargs = {} if max_merge_bytes is None else {"max_merge_bytes": max_merge_bytes}
+            self.scheduler = MqDeadlineScheduler(device, self.stats, **kwargs)
+        else:
+            raise ValueError(f"unknown scheduler {scheduler!r} (none | mq-deadline)")
+
+    @property
+    def scheduler_name(self) -> str:
+        return "none" if self.scheduler is None else self.scheduler.name
+
+    def submit(self, command: Command) -> Event:
+        if command.opcode in (Opcode.APPEND, Opcode.ZONE_MGMT):
+            raise UnsupportedOperation(
+                f"fio/io_uring cannot issue {command.opcode.value} commands; "
+                "use the SPDK stack (paper §III-A)"
+            )
+        if self.scheduler is None or not self.scheduler.wants(command):
+            return super().submit(command)
+        command.submitted_at = self.sim.now
+        self.stats.requests += 1
+        done = self.sim.event()
+        self.sim.process(self._issue_scheduled(command, done))
+        return done
+
+    def _issue_scheduled(self, command: Command, done: Event):
+        yield self.sim.timeout(self.submit_overhead_ns + self.scheduler.overhead_ns)
+        inner = self.sim.event()
+        self.scheduler.enqueue(command, inner)
+        completion = yield inner
+        yield self.sim.timeout(self.complete_overhead_ns)
+        completion.completed_at = self.sim.now
+        done.succeed(completion)

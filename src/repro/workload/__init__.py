@@ -1,0 +1,28 @@
+"""fio-like workload engine: jobs, patterns, pacing, metrics, runners."""
+
+from .job import IoKind, JobSpec, Pattern
+from .patterns import RandomReadPattern, RangePattern, ZoneAppendCursor, ZoneWriteCursor
+from .ratelimit import RatePacer
+from .runner import JobResult, JobRunner, ResetSweep
+from .stats import LatencyStats, TimeSeries
+from .trace import Trace, TraceRecord, TraceReplayer, synthetic_trace
+
+__all__ = [
+    "IoKind",
+    "JobResult",
+    "JobRunner",
+    "JobSpec",
+    "LatencyStats",
+    "Pattern",
+    "RandomReadPattern",
+    "RangePattern",
+    "RatePacer",
+    "ResetSweep",
+    "TimeSeries",
+    "Trace",
+    "TraceRecord",
+    "TraceReplayer",
+    "synthetic_trace",
+    "ZoneAppendCursor",
+    "ZoneWriteCursor",
+]

@@ -1,0 +1,88 @@
+"""Job specifications — the fio-job-file equivalent.
+
+A :class:`JobSpec` describes one workload exactly the way the paper's fio
+and SPDK benchmarks are parameterized: operation, access pattern, request
+(block) size, queue depth, number of jobs (threads), target zones, rate
+limit, and runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["IoKind", "Pattern", "JobSpec"]
+
+
+class IoKind:
+    READ = "read"
+    WRITE = "write"
+    APPEND = "append"
+    ALL = (READ, WRITE, APPEND)
+
+
+class Pattern:
+    SEQUENTIAL = "seq"
+    RANDOM = "random"
+    ALL = (SEQUENTIAL, RANDOM)
+
+
+@dataclass
+class JobSpec:
+    """One workload description (fio-style)."""
+
+    op: str
+    block_size: int
+    runtime_ns: int
+    iodepth: int = 1
+    numjobs: int = 1
+    pattern: str = Pattern.SEQUENTIAL
+    #: Zones this job targets (ZNS). Threads share the zone list unless
+    #: ``zone_per_thread`` splits it one-zone-per-thread (inter-zone mode).
+    zones: Optional[Sequence[int]] = None
+    zone_per_thread: bool = False
+    #: LBA range for non-zoned targets: (start_lba, end_lba).
+    address_range: Optional[tuple[int, int]] = None
+    #: Byte-rate cap shared by the whole job (the paper's fio rate limit).
+    rate_limit_bps: Optional[float] = None
+    ramp_ns: int = 0
+    #: For long write/append runs: reset a filled zone before reusing it
+    #: (the benchmark-managed GC of §III-F).
+    reset_when_full: bool = True
+    name: str = ""
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.op not in IoKind.ALL:
+            raise ValueError(f"op must be one of {IoKind.ALL}, got {self.op!r}")
+        if self.pattern not in Pattern.ALL:
+            raise ValueError(f"pattern must be one of {Pattern.ALL}")
+        if self.block_size <= 0 or self.block_size % 512 != 0:
+            raise ValueError(f"block_size must be a positive multiple of 512")
+        if self.iodepth < 1 or self.numjobs < 1:
+            raise ValueError("iodepth and numjobs must be >= 1")
+        if self.runtime_ns <= 0:
+            raise ValueError("runtime_ns must be positive")
+        if self.ramp_ns < 0 or self.ramp_ns >= self.runtime_ns:
+            raise ValueError("ramp_ns must be in [0, runtime_ns)")
+        if self.rate_limit_bps is not None and self.rate_limit_bps <= 0:
+            raise ValueError("rate_limit_bps must be positive")
+        if self.op == IoKind.APPEND and self.pattern == Pattern.RANDOM:
+            raise ValueError("append is inherently sequential; use pattern='seq'")
+        if self.zone_per_thread and self.zones is not None and (
+            len(self.zones) < self.numjobs
+        ):
+            raise ValueError(
+                f"zone_per_thread needs >= numjobs zones "
+                f"({len(self.zones)} < {self.numjobs})"
+            )
+        if not self.name:
+            self.name = f"{self.op}-{self.block_size // 1024}k-qd{self.iodepth}"
+
+    def zones_for_thread(self, thread: int) -> Optional[Sequence[int]]:
+        """The zone subset a given thread works on."""
+        if self.zones is None:
+            return None
+        if not self.zone_per_thread:
+            return self.zones
+        return [self.zones[thread]]

@@ -1,0 +1,33 @@
+"""Byte-rate pacing — the fio ``rate=`` option used in §III-F.
+
+A shared pacer: each request reserves its byte cost against a continuous
+refill, and the runner sleeps until the reservation's start time. Over
+any window longer than a few requests, throughput equals the configured
+rate (if the device can sustain it).
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import NS_PER_S, Simulator
+
+__all__ = ["RatePacer"]
+
+
+class RatePacer:
+    """Token-bucket pacing at a fixed bytes-per-second rate."""
+
+    def __init__(self, sim: Simulator, rate_bps: float):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.rate_bps = float(rate_bps)
+        self._next_free_ns = 0
+
+    def delay_for(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` and return how long the caller must wait."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        now = self.sim.now
+        start = max(now, self._next_free_ns)
+        self._next_free_ns = start + round(nbytes * NS_PER_S / self.rate_bps)
+        return start - now

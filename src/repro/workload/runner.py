@@ -1,0 +1,220 @@
+"""Workload execution: turning a JobSpec into simulated I/O and metrics.
+
+A runner spawns ``numjobs × iodepth`` closed-loop submission slots, each
+repeatedly asking its thread's access pattern for the next command,
+pacing against the job's rate limit, submitting through the storage
+stack, and recording completion latency and throughput after the ramp
+window — the structure of the paper's fio/SPDK benchmarks.
+
+Zone resets needed by long write/append runs (host-managed GC) are issued
+directly to the device — the paper's benchmarks do the same via
+nvme-cli/SPDK rather than through the measured I/O path — and their
+latencies are recorded separately (used by Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..hostif.commands import Command, Opcode, ZoneAction
+from ..hostif.status import Status
+from ..sim.engine import Event, NS_PER_S, Simulator, us
+from .job import IoKind, JobSpec, Pattern
+from .patterns import RandomReadPattern, RangePattern, ZoneAppendCursor, ZoneWriteCursor
+from .ratelimit import RatePacer
+from .stats import LatencyStats, TimeSeries
+
+__all__ = ["JobResult", "JobRunner", "ResetSweep"]
+
+#: Default bucketing of throughput-over-time series.
+DEFAULT_TS_INTERVAL_NS = 50_000_000  # 50 ms
+
+
+@dataclass
+class JobResult:
+    """Measured outcome of one job (post-ramp window only)."""
+
+    job: JobSpec
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    reset_latency: LatencyStats = field(default_factory=LatencyStats)
+    timeseries: TimeSeries = field(default_factory=lambda: TimeSeries(DEFAULT_TS_INTERVAL_NS))
+    ops: int = 0
+    bytes: int = 0
+    resets: int = 0
+    errors: dict[Status, int] = field(default_factory=dict)
+    measured_ns: int = 0
+
+    @property
+    def iops(self) -> float:
+        if self.measured_ns == 0:
+            return 0.0
+        return self.ops * NS_PER_S / self.measured_ns
+
+    @property
+    def kiops(self) -> float:
+        return self.iops / 1_000
+
+    @property
+    def bandwidth_mibs(self) -> float:
+        if self.measured_ns == 0:
+            return 0.0
+        return self.bytes * NS_PER_S / self.measured_ns / (1024 * 1024)
+
+
+class JobRunner:
+    """Runs one JobSpec against a stack/device pair."""
+
+    def __init__(self, device, stack, job: JobSpec,
+                 ts_interval_ns: int = DEFAULT_TS_INTERVAL_NS):
+        self.device = device
+        self.stack = stack
+        self.job = job
+        self.sim: Simulator = device.sim
+        self.result = JobResult(job=job, timeseries=TimeSeries(ts_interval_ns))
+        self._pacer = (
+            RatePacer(self.sim, job.rate_limit_bps)
+            if job.rate_limit_bps is not None
+            else None
+        )
+        self._resetting: set[int] = set()
+        self._started = False
+
+    # -- orchestration ------------------------------------------------------
+    def start(self) -> Event:
+        """Launch all slots; the returned event fires when the job ends."""
+        if self._started:
+            raise RuntimeError("runner already started")
+        self._started = True
+        self._start_ns = self.sim.now
+        self._end_ns = self.sim.now + self.job.runtime_ns
+        self._ramp_end_ns = self.sim.now + self.job.ramp_ns
+        slots = []
+        for thread in range(self.job.numjobs):
+            pattern = self._build_pattern(thread)
+            for _ in range(self.job.iodepth):
+                slots.append(self.sim.process(self._slot(pattern)))
+        done = self.sim.all_of(slots)
+        done.callbacks.append(lambda _e: self._finalize())
+        return done
+
+    def run(self) -> JobResult:
+        """Start and run the simulation until the job completes."""
+        self.sim.run(until=self.start())
+        return self.result
+
+    def _finalize(self) -> None:
+        self.result.measured_ns = max(0, self.sim.now - self._ramp_end_ns)
+
+    # -- pattern construction --------------------------------------------------
+    def _build_pattern(self, thread: int):
+        job = self.job
+        nlb = self.device.namespace.lbas(job.block_size)
+        rng = np.random.default_rng((job.seed, thread))
+        zones = job.zones_for_thread(thread)
+        if zones is None:
+            if job.address_range is None:
+                raise ValueError(
+                    f"job {job.name!r} targets no zones and no address range"
+                )
+            opcode = Opcode.READ if job.op == IoKind.READ else Opcode.WRITE
+            if job.op == IoKind.APPEND:
+                raise ValueError("append requires zones")
+            return RangePattern(
+                opcode, job.address_range, nlb,
+                random=(job.pattern == Pattern.RANDOM), rng=rng,
+            )
+        if job.op == IoKind.READ:
+            return RandomReadPattern(self.device, zones, nlb, rng)
+        if job.op == IoKind.WRITE:
+            return ZoneWriteCursor(self.device, zones, nlb, job.reset_when_full)
+        return ZoneAppendCursor(
+            self.device, zones, nlb, job.reset_when_full,
+            rng=rng if job.pattern == Pattern.RANDOM or len(zones) > 1 else None,
+        )
+
+    # -- the submission loop ----------------------------------------------------
+    def _slot(self, pattern) -> Generator:
+        job = self.job
+        while self.sim.now < self._end_ns:
+            command, reset_zone = pattern.next_target()
+            if reset_zone is not None:
+                yield from self._reset_zone(pattern, reset_zone)
+                continue
+            if command is None:
+                return
+            if self._pacer is not None:
+                delay = self._pacer.delay_for(job.block_size)
+                if delay:
+                    yield self.sim.timeout(delay)
+                if self.sim.now >= self._end_ns:
+                    return
+            completion = yield self.stack.submit(command)
+            if isinstance(pattern, ZoneAppendCursor):
+                pattern.completed(command)
+            self._record(completion)
+
+    def _reset_zone(self, pattern, zone_id: int) -> Generator:
+        if zone_id in self._resetting:
+            # Another slot is already resetting this zone; back off.
+            yield self.sim.timeout(us(10))
+            return
+        self._resetting.add(zone_id)
+        try:
+            zslba = self.device.zones.zones[zone_id].zslba
+            command = Command(Opcode.ZONE_MGMT, slba=zslba, action=ZoneAction.RESET)
+            completion = yield self.device.submit(command)
+            if completion.ok:
+                self.result.resets += 1
+                if self.sim.now >= self._ramp_end_ns:
+                    self.result.reset_latency.record(completion.latency_ns)
+            if isinstance(pattern, ZoneAppendCursor):
+                pattern.reset_done(zone_id)
+        finally:
+            self._resetting.discard(zone_id)
+
+    def _record(self, completion) -> None:
+        if not completion.ok:
+            errors = self.result.errors
+            errors[completion.status] = errors.get(completion.status, 0) + 1
+            return
+        if self.sim.now < self._ramp_end_ns:
+            return
+        self.result.ops += 1
+        self.result.bytes += self.job.block_size
+        self.result.latency.record(completion.latency_ns)
+        self.result.timeseries.record(self.sim.now, self.job.block_size)
+
+
+class ResetSweep:
+    """A dedicated reset thread: resets pre-filled zones back to back.
+
+    Used by the §III-E occupancy sweeps and the §III-G interference
+    benchmark ("one thread solely for issuing reset operations").
+    """
+
+    def __init__(self, device, zone_ids):
+        self.device = device
+        self.sim: Simulator = device.sim
+        self.zone_ids = list(zone_ids)
+        self.latency = LatencyStats()
+
+    def start(self) -> Event:
+        return self.sim.process(self._run())
+
+    def run(self) -> LatencyStats:
+        self.sim.run(until=self.start())
+        return self.latency
+
+    def _run(self) -> Generator:
+        for zone_id in self.zone_ids:
+            zslba = self.device.zones.zones[zone_id].zslba
+            command = Command(Opcode.ZONE_MGMT, slba=zslba, action=ZoneAction.RESET)
+            completion = yield self.device.submit(command)
+            if not completion.ok:
+                raise RuntimeError(
+                    f"reset of zone {zone_id} failed: {completion.status.value}"
+                )
+            self.latency.record(completion.latency_ns)

@@ -1,0 +1,239 @@
+"""The zone manager: state transitions with open/active-limit enforcement.
+
+All transition legality and resource-limit logic lives here, separate
+from timing, so the state machine is testable (including with
+property-based random operation sequences) without running a simulator.
+
+Semantics follow the NVMe ZNS spec as the paper describes it:
+
+* a write/append to an EMPTY or CLOSED zone *implicitly opens* it,
+* open zones count against ``max_open``; open + closed count against
+  ``max_active``,
+* ``close`` on an open zone with an untouched write pointer returns it to
+  EMPTY (nothing was written, so nothing stays active),
+* ``finish`` moves an open/closed zone to FULL, recording how much
+  capacity had to be padded (the pad size drives finish latency and the
+  later reset cost, §III-E),
+* ``finish`` on an EMPTY or FULL zone is rejected — the paper notes "the
+  standard does not permit us to issue a finish operation to a full or
+  empty zone",
+* ``reset`` returns any writable-lifecycle zone to EMPTY (a reset of an
+  already-EMPTY zone is a legal cheap no-op; Fig. 5a includes 0 %
+  occupancy).
+"""
+
+from __future__ import annotations
+
+from ..hostif.status import Status
+from .spec import ACTIVE_STATES, OPEN_STATES, ZoneState
+from .zone import Zone
+
+__all__ = ["ZoneManager"]
+
+
+class ZoneManager:
+    """Owns all zones of a namespace and their state transitions."""
+
+    def __init__(self, num_zones: int, size_lbas: int, cap_lbas: int,
+                 max_open: int, max_active: int):
+        if num_zones <= 0:
+            raise ValueError(f"num_zones must be positive, got {num_zones}")
+        if max_open <= 0 or max_active <= 0:
+            raise ValueError("zone limits must be positive")
+        if max_open > max_active:
+            raise ValueError(
+                f"max_open ({max_open}) cannot exceed max_active ({max_active})"
+            )
+        self.zones = [
+            Zone(i, i * size_lbas, size_lbas, cap_lbas) for i in range(num_zones)
+        ]
+        self.size_lbas = size_lbas
+        self.cap_lbas = cap_lbas
+        self.max_open = max_open
+        self.max_active = max_active
+        self._open_count = 0
+        self._active_count = 0
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def num_zones(self) -> int:
+        return len(self.zones)
+
+    @property
+    def open_count(self) -> int:
+        return self._open_count
+
+    @property
+    def active_count(self) -> int:
+        return self._active_count
+
+    def zone_containing(self, lba: int) -> Zone | None:
+        """The zone owning an LBA, or None when out of range."""
+        index = lba // self.size_lbas
+        if 0 <= index < len(self.zones):
+            return self.zones[index]
+        return None
+
+    def zone_at_start(self, zslba: int) -> Zone | None:
+        """The zone whose start LBA is exactly ``zslba`` (for zone cmds)."""
+        zone = self.zone_containing(zslba)
+        if zone is not None and zone.zslba == zslba:
+            return zone
+        return None
+
+    def check_invariants(self) -> None:
+        """Assert the counter/limit invariants (used by property tests)."""
+        open_zones = sum(1 for z in self.zones if z.state in OPEN_STATES)
+        active_zones = sum(1 for z in self.zones if z.state in ACTIVE_STATES)
+        assert open_zones == self._open_count, "open-count drift"
+        assert active_zones == self._active_count, "active-count drift"
+        assert self._open_count <= self.max_open, "max_open violated"
+        assert self._active_count <= self.max_active, "max_active violated"
+        for zone in self.zones:
+            assert zone.zslba <= zone.wp <= zone.writable_end, "wp out of range"
+            if zone.state is ZoneState.EMPTY:
+                assert zone.wp == zone.zslba, "EMPTY zone with advanced wp"
+            if zone.state is ZoneState.FULL and zone.finished_pad_lbas == 0:
+                assert zone.wp == zone.writable_end, "unpadded FULL zone not at cap"
+
+    # -- state bookkeeping ---------------------------------------------------
+    def _enter(self, zone: Zone, new_state: ZoneState) -> None:
+        old = zone.state
+        self._open_count += (new_state in OPEN_STATES) - (old in OPEN_STATES)
+        self._active_count += (new_state in ACTIVE_STATES) - (old in ACTIVE_STATES)
+        zone.state = new_state
+
+    # -- I/O admission ---------------------------------------------------------
+    def admit_write(self, zone: Zone, slba: int, nlb: int) -> tuple[Status, bool]:
+        """Validate a write and apply implicit transitions.
+
+        Returns (status, implicitly_opened). On success the write pointer
+        is advanced and the zone may become FULL.
+        """
+        status, opened = self._admit_common(zone, nlb)
+        if not status.ok:
+            return status, False
+        if slba != zone.wp:
+            # Restore: _admit_common may have opened the zone; a rejected
+            # write must not leave a side effect behind.
+            if opened:
+                self._enter(zone, ZoneState.EMPTY if zone.wp == zone.zslba else ZoneState.CLOSED)
+            return Status.ZONE_INVALID_WRITE, False
+        self._advance(zone, nlb)
+        return Status.SUCCESS, opened
+
+    def admit_append(self, zone: Zone, zslba: int, nlb: int) -> tuple[Status, bool, int]:
+        """Validate an append; returns (status, implicitly_opened, lba).
+
+        The device assigns the target LBA (the current write pointer) —
+        this is the defining semantics of the append operation.
+        """
+        if zslba != zone.zslba:
+            return Status.INVALID_FIELD, False, -1
+        status, opened = self._admit_common(zone, nlb)
+        if not status.ok:
+            return status, False, -1
+        assigned = zone.wp
+        self._advance(zone, nlb)
+        return Status.SUCCESS, opened, assigned
+
+    def _admit_common(self, zone: Zone, nlb: int) -> tuple[Status, bool]:
+        state = zone.state
+        if state is ZoneState.FULL:
+            return Status.ZONE_IS_FULL, False
+        if state is ZoneState.READ_ONLY:
+            return Status.ZONE_IS_READ_ONLY, False
+        if state is ZoneState.OFFLINE:
+            return Status.ZONE_IS_OFFLINE, False
+        if zone.wp + nlb > zone.writable_end:
+            return Status.ZONE_BOUNDARY_ERROR, False
+        opened = False
+        if state in (ZoneState.EMPTY, ZoneState.CLOSED):
+            status = self._can_open(zone)
+            if not status.ok:
+                return status, False
+            self._enter(zone, ZoneState.IMPLICIT_OPEN)
+            opened = True
+        return Status.SUCCESS, opened
+
+    def _advance(self, zone: Zone, nlb: int) -> None:
+        zone.wp += nlb
+        if zone.wp == zone.writable_end:
+            self._enter(zone, ZoneState.FULL)
+
+    def _can_open(self, zone: Zone) -> Status:
+        needs_active = zone.state is ZoneState.EMPTY
+        if needs_active and self._active_count >= self.max_active:
+            return Status.TOO_MANY_ACTIVE_ZONES
+        if self._open_count >= self.max_open:
+            return Status.TOO_MANY_OPEN_ZONES
+        return Status.SUCCESS
+
+    def force_state(self, zone: Zone, state: ZoneState) -> None:
+        """Failure injection: push a zone into READ_ONLY or OFFLINE.
+
+        Models media wear-out/failure (paper §II-A: limited P/E endurance
+        and read disturbs cause zones to degrade). OFFLINE zones lose
+        their data (write pointer becomes meaningless); READ_ONLY zones
+        keep it. Counter accounting stays consistent.
+        """
+        if state not in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
+            raise ValueError(f"force_state only injects failures, not {state}")
+        self._enter(zone, state)
+        if state is ZoneState.OFFLINE:
+            zone.wp = zone.zslba
+            zone.finished_pad_lbas = 0
+
+    # -- explicit management ----------------------------------------------------
+    def open(self, zone: Zone) -> Status:
+        state = zone.state
+        if state is ZoneState.EXPLICIT_OPEN:
+            return Status.SUCCESS  # idempotent
+        if state in (ZoneState.EMPTY, ZoneState.CLOSED, ZoneState.IMPLICIT_OPEN):
+            if state is not ZoneState.IMPLICIT_OPEN:
+                status = self._can_open(zone)
+                if not status.ok:
+                    return status
+            self._enter(zone, ZoneState.EXPLICIT_OPEN)
+            return Status.SUCCESS
+        return Status.INVALID_ZONE_STATE_TRANSITION
+
+    def close(self, zone: Zone) -> Status:
+        state = zone.state
+        if state is ZoneState.CLOSED:
+            return Status.SUCCESS  # idempotent
+        if state in (ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN):
+            if zone.wp == zone.zslba:
+                self._enter(zone, ZoneState.EMPTY)
+            else:
+                self._enter(zone, ZoneState.CLOSED)
+            return Status.SUCCESS
+        return Status.INVALID_ZONE_STATE_TRANSITION
+
+    def finish(self, zone: Zone) -> tuple[Status, int]:
+        """Finish a zone; returns (status, padded_lbas)."""
+        state = zone.state
+        if state in (ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN, ZoneState.CLOSED):
+            pad = zone.remaining_lbas
+            zone.finished_pad_lbas = pad
+            zone.wp = zone.writable_end
+            self._enter(zone, ZoneState.FULL)
+            return Status.SUCCESS, pad
+        return Status.INVALID_ZONE_STATE_TRANSITION, 0
+
+    def reset(self, zone: Zone) -> tuple[Status, int, int]:
+        """Reset a zone; returns (status, occupied_lbas, padded_lbas).
+
+        The returned occupancy/pad sizes existed *before* the reset and
+        drive the latency model (reset cost grows with occupancy,
+        Observation #10).
+        """
+        state = zone.state
+        if state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
+            return Status.INVALID_ZONE_STATE_TRANSITION, 0, 0
+        occupied = zone.occupancy_lbas - zone.finished_pad_lbas
+        pad = zone.finished_pad_lbas
+        zone.wp = zone.zslba
+        zone.finished_pad_lbas = 0
+        self._enter(zone, ZoneState.EMPTY)
+        return Status.SUCCESS, occupied, pad

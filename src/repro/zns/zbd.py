@@ -1,0 +1,149 @@
+"""A libzbd-style convenience wrapper around the simulated ZNS device.
+
+The paper's artifact drives real hardware through libzbd / nvme-cli;
+this wrapper offers the same ergonomics over the simulation: synchronous
+byte-addressed calls that internally run the simulator until completion.
+Ideal for tests, notebooks, and porting host software written against
+zoned block devices.
+
+All offsets/lengths are in **bytes** (like libzbd's ``zbd_pwrite``);
+conversions to LBAs happen inside. Errors surface as
+:class:`repro.hostif.StatusError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hostif.commands import Command, Completion, Opcode, ZoneAction
+from ..hostif.status import StatusError
+from .device import ZnsDevice
+from .spec import ZoneState
+
+__all__ = ["ZoneInfo", "ZonedBlockDevice"]
+
+
+@dataclass(frozen=True)
+class ZoneInfo:
+    """One entry of a zone report (``zbd_report_zones`` equivalent)."""
+
+    index: int
+    start: int       # bytes
+    length: int      # bytes (zone size)
+    capacity: int    # bytes (writable)
+    wp: int          # bytes (absolute write-pointer position)
+    state: ZoneState
+
+    @property
+    def occupancy(self) -> int:
+        return self.wp - self.start
+
+
+class ZonedBlockDevice:
+    """Synchronous zoned-block-device facade over device (+ optional stack)."""
+
+    def __init__(self, device: ZnsDevice, stack=None):
+        self.device = device
+        self.sim = device.sim
+        self._target = stack if stack is not None else device
+        self._block = device.namespace.block_size
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def nr_zones(self) -> int:
+        return self.device.zones.num_zones
+
+    @property
+    def zone_size(self) -> int:
+        return self.device.profile.zone_size_bytes
+
+    @property
+    def zone_capacity(self) -> int:
+        return self.device.profile.zone_cap_bytes
+
+    @property
+    def max_open_zones(self) -> int:
+        return self.device.profile.max_open_zones
+
+    @property
+    def max_active_zones(self) -> int:
+        return self.device.profile.max_active_zones
+
+    # -- reporting -------------------------------------------------------------
+    def report_zones(self, start: int = 0, count: Optional[int] = None) -> list[ZoneInfo]:
+        zones = self.device.report_zones()[start: None if count is None else start + count]
+        return [
+            ZoneInfo(
+                index=z.index,
+                start=z.zslba * self._block,
+                length=z.size_lbas * self._block,
+                capacity=z.cap_lbas * self._block,
+                wp=z.wp * self._block,
+                state=z.state,
+            )
+            for z in zones
+        ]
+
+    # -- I/O ----------------------------------------------------------------------
+    def _sync(self, command: Command) -> Completion:
+        completion = self.sim.run(until=self._target.submit(command))
+        if not completion.ok:
+            raise StatusError(completion.status, f"{command.opcode.value} @ {command.slba}")
+        return completion
+
+    def _check_aligned(self, offset: int, nbytes: int) -> tuple[int, int]:
+        if offset % self._block or nbytes <= 0 or nbytes % self._block:
+            raise ValueError(
+                f"offset/length must be positive multiples of the "
+                f"{self._block} B block size (got {offset}, {nbytes})"
+            )
+        return offset // self._block, nbytes // self._block
+
+    def pwrite(self, offset: int, nbytes: int) -> Completion:
+        """Write ``nbytes`` at byte ``offset`` (must equal the zone's wp)."""
+        slba, nlb = self._check_aligned(offset, nbytes)
+        return self._sync(Command(Opcode.WRITE, slba=slba, nlb=nlb))
+
+    def pread(self, offset: int, nbytes: int) -> Completion:
+        slba, nlb = self._check_aligned(offset, nbytes)
+        return self._sync(Command(Opcode.READ, slba=slba, nlb=nlb))
+
+    def append(self, zone_index: int, nbytes: int) -> tuple[int, Completion]:
+        """Zone append; returns (assigned byte offset, completion)."""
+        zone = self._zone(zone_index)
+        _, nlb = self._check_aligned(0, nbytes)
+        completion = self._sync(Command(Opcode.APPEND, slba=zone.zslba, nlb=nlb))
+        return completion.assigned_lba * self._block, completion
+
+    # -- zone management ----------------------------------------------------------
+    def _zone(self, zone_index: int):
+        if not 0 <= zone_index < self.nr_zones:
+            raise ValueError(f"zone {zone_index} out of range [0, {self.nr_zones})")
+        return self.device.zones.zones[zone_index]
+
+    def _mgmt(self, zone_index: int, action: ZoneAction) -> Completion:
+        zone = self._zone(zone_index)
+        return self._sync(Command(Opcode.ZONE_MGMT, slba=zone.zslba, action=action))
+
+    def open_zone(self, zone_index: int) -> Completion:
+        return self._mgmt(zone_index, ZoneAction.OPEN)
+
+    def close_zone(self, zone_index: int) -> Completion:
+        return self._mgmt(zone_index, ZoneAction.CLOSE)
+
+    def finish_zone(self, zone_index: int) -> Completion:
+        return self._mgmt(zone_index, ZoneAction.FINISH)
+
+    def reset_zone(self, zone_index: int) -> Completion:
+        return self._mgmt(zone_index, ZoneAction.RESET)
+
+    def reset_all(self) -> int:
+        """Reset every non-empty zone (``blkzone reset`` equivalent);
+        returns the number of zones reset."""
+        count = 0
+        for zone in self.device.zones.zones:
+            if zone.state is not ZoneState.EMPTY:
+                self.reset_zone(zone.index)
+                count += 1
+        return count

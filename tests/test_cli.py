@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_env_prints_table2(self, capsys):
+        assert main(["env"]) == 0
+        out = capsys.readouterr().out
+        assert "ZN540" in out and "904" in out
+
+    def test_list_prints_experiment_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig2a" in out and "fig7" in out and "fig8" in out
+
+    def test_run_selected_experiment(self, capsys):
+        assert main(["--fast", "run", "fig2a"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig2a]" in out and "spdk" in out
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["--fast", "run", "figZZ"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            main(["--scale", "-1", "run", "fig2a"])

@@ -1,0 +1,161 @@
+"""Integration tests for the conventional SSD device model."""
+
+import pytest
+
+from repro.flash import KIB, MIB, FlashGeometry
+from repro.hostif import Command, Opcode, Status
+from repro.sim import Simulator, ms, sec, us
+from repro.conv import ConvDevice
+
+from .util import quiet_profile, read, run_cmd, write
+
+
+def conv_profile(**overrides):
+    """A small conventional-device profile (≈128 MiB raw flash)."""
+    geometry = FlashGeometry(
+        channels=4,
+        dies_per_channel=2,
+        planes_per_die=1,
+        blocks_per_plane=64,
+        pages_per_block=16,
+        page_size=16 * KIB,
+    )
+    base = dict(geometry=geometry, write_buffer_bytes=4 * MIB)
+    base.update(overrides)
+    return quiet_profile(**base)
+
+
+def make_conv(**overrides):
+    sim = Simulator()
+    device = ConvDevice(sim, conv_profile(**overrides))
+    return sim, device
+
+
+class TestBasicIo:
+    def test_write_then_read(self):
+        sim, dev = make_conv()
+        assert run_cmd(sim, dev, write(0, 4)).ok
+        assert run_cmd(sim, dev, read(0, 4)).ok
+        assert dev.counters.completed[Opcode.WRITE] == 1
+        assert dev.counters.completed[Opcode.READ] == 1
+
+    def test_random_writes_accepted_anywhere(self):
+        """Unlike ZNS, a conventional SSD takes writes at any LBA."""
+        sim, dev = make_conv()
+        capacity = dev.namespace.capacity_lbas
+        for slba in (0, capacity // 2, capacity - 4, 17):
+            assert run_cmd(sim, dev, write(slba, 4)).ok
+
+    def test_out_of_range_rejected(self):
+        sim, dev = make_conv()
+        cpl = run_cmd(sim, dev, write(dev.namespace.capacity_lbas, 1))
+        assert cpl.status is Status.LBA_OUT_OF_RANGE
+
+    def test_append_not_supported(self):
+        sim, dev = make_conv()
+        with pytest.raises(ValueError):
+            dev.submit(Command(Opcode.APPEND, slba=0, nlb=1))
+
+    def test_write_qd1_latency_matches_zns_write_path(self):
+        """Same hardware, same write-cache path: latency parity with ZNS."""
+        sim, dev = make_conv()
+        run_cmd(sim, dev, write(0, 1))
+        cpl = run_cmd(sim, dev, write(4, 1))
+        assert cpl.latency_ns == 5_380 + 610 + 4_800
+
+    def test_unwritten_read_needs_no_nand(self):
+        sim, dev = make_conv()
+        cpl = run_cmd(sim, dev, read(0, 1))
+        assert cpl.ok
+        assert dev.backend.counters.pages_read == 0
+
+
+class TestPrecondition:
+    def test_precondition_maps_logical_space(self):
+        sim, dev = make_conv()
+        dev.precondition(1.0)
+        assert dev.ftl.mapped_pages() == dev.ftl.logical_pages
+        assert dev.ftl.write_amplification() == 1.0  # fill isn't counted
+
+    def test_precondition_fraction(self):
+        sim, dev = make_conv()
+        dev.precondition(0.5)
+        assert dev.ftl.mapped_pages() == pytest.approx(
+            dev.ftl.logical_pages / 2, abs=1
+        )
+
+    def test_invalid_fraction_rejected(self):
+        sim, dev = make_conv()
+        with pytest.raises(ValueError):
+            dev.precondition(1.5)
+
+
+class TestGarbageCollectionBehaviour:
+    def _flood(self, sim, dev, duration_ns, rng_seed=1):
+        """Random full-page overwrites as fast as QD4 allows."""
+        import numpy as np
+
+        rng = np.random.default_rng(rng_seed)
+        page_lbas = dev.profile.geometry.page_size // dev.namespace.block_size
+        pages = dev.namespace.capacity_lbas // page_lbas
+        stop_at = sim.now + duration_ns
+
+        def writer():
+            while sim.now < stop_at:
+                slba = int(rng.integers(0, pages)) * page_lbas
+                yield dev.submit(write(slba, page_lbas))
+
+        workers = [sim.process(writer()) for _ in range(4)]
+        sim.run(until=sim.all_of(workers))
+
+    def test_sustained_overwrites_trigger_gc(self):
+        sim, dev = make_conv()
+        dev.precondition(1.0)
+        self._flood(sim, dev, sec(0.4))
+        assert dev.gc_stats.activations >= 1
+        assert dev.gc_stats.victims_erased > 0
+        assert dev.gc_stats.pages_copied > 0
+        assert dev.ftl.write_amplification() > 1.2
+
+    def test_gc_keeps_free_blocks_above_exhaustion(self):
+        sim, dev = make_conv()
+        dev.precondition(1.0)
+        self._flood(sim, dev, sec(0.5))
+        assert dev.ftl.free_block_count > 0
+
+    def test_gc_inflates_read_latency(self):
+        """The §III-F mechanism: GC + writes inflate read tails."""
+        import numpy as np
+
+        sim, dev = make_conv()
+        dev.precondition(1.0)
+        # Idle read latency.
+        idle = run_cmd(sim, dev, read(0, 1)).latency_ns
+
+        rng = np.random.default_rng(7)
+        page_lbas = dev.profile.geometry.page_size // dev.namespace.block_size
+        pages = dev.namespace.capacity_lbas // page_lbas
+        stop = []
+
+        def writer():
+            while not stop:
+                slba = int(rng.integers(0, pages)) * page_lbas
+                yield dev.submit(write(slba, page_lbas))
+
+        for _ in range(4):
+            sim.process(writer())
+        sim.run(until=sim.now + sec(0.2))  # build up GC + flush backlog
+        latencies = []
+        for _ in range(20):
+            slba = int(rng.integers(0, pages)) * page_lbas
+            latencies.append(run_cmd(sim, dev, read(slba, 1)).latency_ns)
+        stop.append(True)
+        assert max(latencies) > 5 * idle
+
+    def test_no_gc_without_overwrites(self):
+        sim, dev = make_conv()
+        page_lbas = dev.profile.geometry.page_size // dev.namespace.block_size
+        for i in range(32):
+            run_cmd(sim, dev, write(i * page_lbas, page_lbas))
+        sim.run()
+        assert dev.gc_stats.activations == 0

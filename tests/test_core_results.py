@@ -1,0 +1,93 @@
+"""Tests for experiment result containers and reporting."""
+
+import pytest
+
+from repro.core import ExperimentResult, render_table, table1, table2
+from repro.core.observations import ObservationCheck, OBSERVATION_SUMMARIES
+from repro.core.recommendations import RECOMMENDATIONS, validate
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["name", "value"],
+            [{"name": "a", "value": 1.5}, {"name": "bb", "value": 1234.5}],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1,234" in lines[3] or "1,235" in lines[3]
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+    def test_float_formatting_tiers(self):
+        text = render_table(["v"], [{"v": 0.123}, {"v": 12.3}, {"v": 12345.0}])
+        assert "0.12" in text and "12.3" in text and "12,345" in text
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult("figX", "demo", ["a", "b"])
+        result.add_row(a=1, b="x")
+        result.add_row(a=2, b="y")
+        return result
+
+    def test_find_and_value(self):
+        result = self.make()
+        assert result.find(a=2)["b"] == "y"
+        assert result.value("b", a=1) == "x"
+        assert result.find(a=3) is None
+        with pytest.raises(KeyError):
+            result.value("b", a=3)
+
+    def test_column(self):
+        assert self.make().column("a") == [1, 2]
+
+    def test_table_includes_id_and_notes(self):
+        result = self.make()
+        result.notes.append("hello note")
+        text = result.table()
+        assert "[figX]" in text and "hello note" in text
+
+
+class TestObservationCheck:
+    def test_str_shows_status(self):
+        check = ObservationCheck(4, True, "details here")
+        assert "REPRODUCED" in str(check)
+        assert "details here" in str(check)
+        assert check.summary == OBSERVATION_SUMMARIES[4]
+
+    def test_failed_status(self):
+        assert "NOT REPRODUCED" in str(ObservationCheck(4, False, "d"))
+
+
+class TestRecommendations:
+    def test_five_recommendations(self):
+        assert len(RECOMMENDATIONS) == 5
+        assert {r.rec_id for r in RECOMMENDATIONS} == {1, 2, 3, 4, 5}
+
+    def test_supporting_observations_cover_all_thirteen(self):
+        covered = set()
+        for rec in RECOMMENDATIONS:
+            covered |= set(rec.supported_by)
+        assert covered == set(range(1, 14))
+
+    def test_validation_requires_all_supporting_obs(self):
+        checks = [ObservationCheck(i, i != 4, "") for i in range(1, 14)]
+        pairs = dict((rec.rec_id, ok) for rec, ok in validate(checks))
+        assert pairs[1] is False  # rec 1 depends on obs 4
+        assert pairs[2] is True
+        assert pairs[5] is True
+
+    def test_table1_renders(self):
+        checks = [ObservationCheck(i, True, "") for i in range(1, 14)]
+        text = table1(checks)
+        assert "Append vs. write" in text
+        assert "yes" in text
+
+
+class TestTable2:
+    def test_environment_table_mentions_zn540_layout(self):
+        text = table2()
+        assert "1,077" in text and "904" in text and "14" in text

@@ -1,0 +1,73 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.core import ExperimentResult
+from repro.core.figures import ascii_chart, ascii_timeline, render_figure
+
+
+class TestAsciiChart:
+    def test_axes_and_legend(self):
+        text = ascii_chart(
+            {"reads": [(1, 10), (2, 20)], "writes": [(1, 5), (2, 40)]},
+            width=20, height=6, title="demo", xlabel="qd", ylabel="kiops",
+        )
+        assert "demo" in text
+        assert "o reads" in text and "x writes" in text
+        assert "(kiops vs qd)" in text
+
+    def test_log_x_positions_geometric_points_evenly(self):
+        text = ascii_chart(
+            {"s": [(1, 1), (4, 1), (16, 1)]}, width=17, height=3, log_x=True,
+        )
+        row = next(line for line in text.splitlines() if "o" in line)
+        cols = [i for i, c in enumerate(row) if c == "o"]
+        # geometric x spacing -> equal column gaps under log-x
+        assert cols[1] - cols[0] == cols[2] - cols[1]
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 1), (2, 2)]}, log_x=True)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_values_stay_in_grid(self):
+        text = ascii_chart({"s": [(i, i * i) for i in range(1, 30)]},
+                           width=30, height=8)
+        body = [l for l in text.splitlines() if "|" in l]
+        assert len(body) == 8
+        assert all(len(l.split("|", 1)[1]) <= 30 for l in body)
+
+
+class TestAsciiTimeline:
+    def test_scales_to_peak(self):
+        line = ascii_timeline([0, 600, 1200], peak=1200, label="w")
+        assert line.startswith("w [")
+        assert line.count("█") == 1 and " " in line.split("[")[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_timeline([])
+
+    def test_autoscale_without_peak(self):
+        line = ascii_timeline([1, 2, 4])
+        assert "█" in line
+
+
+class TestRenderFigure:
+    def test_renders_series_result(self):
+        result = ExperimentResult("fig4b", "t", ["a"])
+        result.series = {"read": [(1, 10), (14, 100)]}
+        assert "o read" in render_figure(result)
+
+    def test_fig6_uses_timelines(self):
+        result = ExperimentResult("fig6", "t", ["a"])
+        result.series = {"zns-write": [(0.05, 1100), (0.10, 1100)]}
+        text = render_figure(result)
+        assert "zns-write" in text and "[" in text
+
+    def test_result_without_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure(ExperimentResult("x", "t", ["a"]))

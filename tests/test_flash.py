@@ -1,0 +1,188 @@
+"""Unit tests for the NAND flash substrate."""
+
+import pytest
+
+from repro.flash import KIB, MIB, FlashBackend, FlashGeometry, NandTiming
+from repro.sim import Simulator, us
+
+
+def small_geometry(**overrides) -> FlashGeometry:
+    base = dict(
+        channels=2,
+        dies_per_channel=2,
+        planes_per_die=2,
+        blocks_per_plane=4,
+        pages_per_block=8,
+        page_size=16 * KIB,
+    )
+    base.update(overrides)
+    return FlashGeometry(**base)
+
+
+class TestGeometry:
+    def test_derived_sizes(self):
+        geo = small_geometry()
+        assert geo.total_dies == 4
+        assert geo.total_planes == 8
+        assert geo.block_bytes == 8 * 16 * KIB
+        assert geo.plane_bytes == 4 * geo.block_bytes
+        assert geo.die_bytes == 2 * geo.plane_bytes
+        assert geo.capacity_bytes == 4 * geo.die_bytes
+        assert geo.total_blocks == 8 * 4
+        assert geo.total_pages == geo.total_blocks * 8
+
+    def test_die_index_flattening_is_bijective(self):
+        geo = small_geometry()
+        seen = set()
+        for ch in range(geo.channels):
+            for die in range(geo.dies_per_channel):
+                idx = geo.die_index(ch, die)
+                assert geo.channel_of_die(idx) == ch
+                seen.add(idx)
+        assert seen == set(range(geo.total_dies))
+
+    def test_die_index_bounds_checked(self):
+        geo = small_geometry()
+        with pytest.raises(ValueError):
+            geo.die_index(2, 0)
+        with pytest.raises(ValueError):
+            geo.die_index(0, 2)
+        with pytest.raises(ValueError):
+            geo.channel_of_die(geo.total_dies)
+
+    def test_pages_needed_rounds_up(self):
+        geo = small_geometry()
+        assert geo.pages_needed(0) == 0
+        assert geo.pages_needed(1) == 1
+        assert geo.pages_needed(16 * KIB) == 1
+        assert geo.pages_needed(16 * KIB + 1) == 2
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            small_geometry(channels=0)
+        with pytest.raises(ValueError):
+            small_geometry(page_size=1000)  # not multiple of 512
+
+    def test_zn540_like_geometry_bandwidth(self):
+        """The default geometry + timing should land near the paper's
+        1,155 MiB/s device write limit."""
+        geo = FlashGeometry()
+        timing = NandTiming()
+        bw_mib = timing.program_bandwidth(geo) / MIB
+        assert 1_050 <= bw_mib <= 1_250
+
+
+class TestNandTiming:
+    def test_defaults_are_positive(self):
+        t = NandTiming()
+        assert t.read_ns > 0 and t.program_ns > 0 and t.erase_ns > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NandTiming(read_ns=0)
+        with pytest.raises(ValueError):
+            NandTiming(program_ns=-5)
+
+    def test_read_rate(self):
+        geo = small_geometry()
+        t = NandTiming(read_ns=us(50))
+        assert t.read_rate(geo) == pytest.approx(4 / 50e-6)
+
+
+class TestBackend:
+    def make(self, **kw):
+        sim = Simulator()
+        geo = small_geometry()
+        timing = NandTiming(read_ns=us(60), program_ns=us(400), erase_ns=us(3000))
+        return sim, FlashBackend(sim, geo, timing, **kw)
+
+    def test_transfer_time_scales_with_bytes(self):
+        sim, backend = self.make(channel_bandwidth=512 * MIB)
+        one = backend.transfer_ns(4 * KIB)
+        four = backend.transfer_ns(16 * KIB)
+        assert four == pytest.approx(4 * one, rel=0.01)
+
+    def test_single_read_latency(self):
+        sim, backend = self.make()
+        done = sim.process(backend.read_page(0))
+        sim.run(until=done)
+        expected = us(60) + backend.transfer_ns(16 * KIB)
+        assert sim.now == expected
+        assert backend.counters.pages_read == 1
+
+    def test_single_program_latency(self):
+        sim, backend = self.make()
+        done = sim.process(backend.program_page(0))
+        sim.run(until=done)
+        assert sim.now == backend.transfer_ns(16 * KIB) + us(400)
+        assert backend.counters.pages_programmed == 1
+
+    def test_erase_occupies_die(self):
+        sim, backend = self.make()
+        done = sim.process(backend.erase_block(3))
+        sim.run(until=done)
+        assert sim.now == us(3000)
+        assert backend.counters.blocks_erased == 1
+
+    def test_programs_to_same_die_serialize(self):
+        sim, backend = self.make()
+        d1 = sim.process(backend.program_page(0))
+        d2 = sim.process(backend.program_page(0))
+        sim.run(until=d2)
+        xfer = backend.transfer_ns(16 * KIB)
+        # Second program waits for the first: bus transfers pipeline, but
+        # the die runs one program at a time.
+        assert sim.now >= 2 * us(400) + xfer
+
+    def test_programs_to_different_channels_run_in_parallel(self):
+        sim, backend = self.make()
+        geo = backend.geometry
+        die_a = geo.die_index(0, 0)
+        die_b = geo.die_index(1, 0)
+        d1 = sim.process(backend.program_page(die_a))
+        d2 = sim.process(backend.program_page(die_b))
+        sim.run()
+        xfer = backend.transfer_ns(16 * KIB)
+        assert sim.now == xfer + us(400)
+
+    def test_priority_read_overtakes_queued_background_work(self):
+        sim, backend = self.make()
+        finish_order = []
+
+        def op(tag, gen):
+            yield sim.process(gen)
+            finish_order.append(tag)
+
+        # Saturate die 0 with background (low-priority) erases, then issue
+        # a high-priority read: the read must finish before the queued
+        # erases that arrived earlier.
+        sim.process(op("erase1", backend.erase_block(0, priority=10)))
+        sim.process(op("erase2", backend.erase_block(0, priority=10)))
+        sim.process(op("erase3", backend.erase_block(0, priority=10)))
+        sim.process(op("read", backend.read_page(0, priority=0)))
+        sim.run()
+        assert finish_order.index("read") < finish_order.index("erase2")
+
+    def test_die_queue_depth_visibility(self):
+        sim, backend = self.make()
+        sim.process(backend.erase_block(0))
+        sim.process(backend.erase_block(0))
+        sim.run(until=us(1))
+        assert backend.die_queue_depth(0) == 2
+
+    def test_busy_time_accounting(self):
+        sim, backend = self.make()
+        done = sim.process(backend.program_page(2))
+        sim.run(until=done)
+        assert backend.die_busy_ns(2) == us(400)
+        assert backend.die_busy_ns(0) == 0
+
+    def test_invalid_channel_bandwidth_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FlashBackend(sim, small_geometry(), NandTiming(), channel_bandwidth=0)
+
+    def test_negative_transfer_rejected(self):
+        _, backend = self.make()
+        with pytest.raises(ValueError):
+            backend.transfer_ns(-1)

@@ -1,0 +1,110 @@
+"""Tests for zone striping widths and the parallelism-inference tool."""
+
+import pytest
+
+from repro.flash import FlashGeometry
+from repro.sim import Simulator, ms
+from repro.zns import ZnsDevice, ZoneStriping
+from repro.zns.inference import infer_zone_groups
+from repro.zns.profiles import zn540
+
+from .util import quiet_profile
+
+
+class TestStripeWidth:
+    def geometry(self):
+        return FlashGeometry()  # 8 channels x 4 dies = 32 dies
+
+    def test_default_stripes_all_dies(self):
+        striping = ZoneStriping(self.geometry(), 2048 * 2**20)
+        assert striping.stripe_width == 32
+        assert striping.die_groups == 1
+        dies = {striping.die_for_page(0, p) for p in range(32)}
+        assert dies == set(range(32))
+
+    def test_narrow_stripe_confines_zone_to_group(self):
+        striping = ZoneStriping(self.geometry(), 2048 * 2**20, stripe_width=8)
+        assert striping.die_groups == 4
+        for zone in range(8):
+            group = striping.group_of_zone(zone)
+            dies = {striping.die_for_page(zone, p) for p in range(64)}
+            assert dies == set(range(group * 8, group * 8 + 8))
+
+    def test_zones_round_robin_over_groups(self):
+        striping = ZoneStriping(self.geometry(), 2048 * 2**20, stripe_width=16)
+        assert [striping.group_of_zone(z) for z in range(4)] == [0, 1, 0, 1]
+
+    def test_width_must_divide_die_count(self):
+        with pytest.raises(ValueError):
+            ZoneStriping(self.geometry(), 2048 * 2**20, stripe_width=5)
+        with pytest.raises(ValueError):
+            ZoneStriping(self.geometry(), 2048 * 2**20, stripe_width=0)
+
+    def test_narrow_stripe_halves_zone_bandwidth(self):
+        """A zone confined to half the dies gets half the program rate."""
+        from repro.zns.inference import _measure_bandwidth
+
+        results = {}
+        for width in (None, 16):
+            profile = quiet_profile(
+                num_zones=8,
+                zone_size_bytes=512 * 2**20,
+                zone_cap_bytes=384 * 2**20,
+                stripe_width=width,
+            )
+            sim = Simulator()
+            device = ZnsDevice(sim, profile)
+            results[width] = _measure_bandwidth(
+                device, [0], runtime_ns=ms(70), block_size=32 * 1024,
+                qd=8, seed=1)
+        assert results[16] == pytest.approx(results[None] / 2, rel=0.1)
+
+
+class TestInference:
+    def build(self, stripe_width):
+        profile = quiet_profile(
+            num_zones=8,
+            zone_size_bytes=512 * 2**20,
+            zone_cap_bytes=384 * 2**20,
+            stripe_width=stripe_width,
+        )
+        sim = Simulator()
+        return ZnsDevice(sim, profile)
+
+    def test_full_width_striping_yields_one_group(self):
+        device = self.build(stripe_width=None)
+        report = infer_zone_groups(device, zones=[0, 1, 2, 3])
+        assert report.group_count == 1
+
+    def test_narrow_striping_groups_recovered(self):
+        device = self.build(stripe_width=16)  # two die groups
+        report = infer_zone_groups(device, zones=[0, 1, 2, 3])
+        # Zones alternate between the 2 groups: {0, 2} and {1, 3}.
+        assert report.group_count == 2
+        assert report.groups[0] == report.groups[2]
+        assert report.groups[1] == report.groups[3]
+        assert report.groups[0] != report.groups[1]
+
+    def test_quarter_striping_four_groups(self):
+        device = self.build(stripe_width=8)
+        report = infer_zone_groups(device, zones=[0, 1, 2, 3])
+        assert report.group_count == 4
+
+    def test_solo_bandwidth_reflects_group_share(self):
+        narrow = self.build(stripe_width=16)
+        report = infer_zone_groups(narrow, zones=[0, 1])
+        full_bw = 1_128  # MiB/s, the whole-device limit
+        for z in (0, 1):
+            assert report.solo_mibs[z] == pytest.approx(full_bw / 2, rel=0.15)
+
+    def test_table_rendering(self):
+        device = self.build(stripe_width=None)
+        report = infer_zone_groups(device, zones=[0, 1])
+        assert "zone" in report.table() and "group" in report.table()
+
+    def test_validation(self):
+        device = self.build(stripe_width=None)
+        with pytest.raises(ValueError):
+            infer_zone_groups(device, zones=[0])
+        with pytest.raises(ValueError):
+            infer_zone_groups(device, zones=[0, 0])

@@ -1,0 +1,140 @@
+"""Unit tests for observation predicates on synthetic experiment results.
+
+The integration suite checks the predicates against real simulation
+output; here we verify the predicate *logic* — both accepting paper-like
+numbers and rejecting counterfactual ones — without running a simulator.
+"""
+
+from repro.core import ExperimentResult
+from repro.core.observations import (
+    check_all,
+    check_obs3,
+    check_obs5,
+    check_obs6,
+    check_obs7,
+    check_obs8,
+    check_obs11,
+    check_obs12,
+    check_obs13,
+)
+
+
+def fig3_like(write4=85, write8=85, append4=66, append8=69):
+    result = ExperimentResult("fig3", "t", ["op", "request_kib", "kiops", "bandwidth_mibs"])
+    sizes = {4: (write4, append4), 8: (write8, append8), 32: (35, 35), 128: (9, 9)}
+    for op_index, op in enumerate(("write", "append")):
+        series = []
+        for kib, vals in sizes.items():
+            kiops = vals[op_index]
+            result.add_row(op=op, request_kib=kib, kiops=kiops,
+                           bandwidth_mibs=kiops * kib / 1.024)
+            series.append((kib, kiops))
+        result.series[op] = series
+    return result
+
+
+def fig4_like(read=424, write=293, append=132):
+    result = ExperimentResult("fig4a", "t", ["op", "qd", "kiops"])
+    result.series = {
+        "read": [(1, 14), (128, read)],
+        "write": [(1, 69), (32, write)],
+        "append": [(1, 64), (4, append)],
+    }
+    return result
+
+
+class TestObs3:
+    def test_paper_numbers_pass(self):
+        assert check_obs3(fig3_like()).passed
+
+    def test_flat_femu_like_numbers_fail(self):
+        # FEMU-like: identical IOPS regardless of size/op ordering.
+        assert not check_obs3(fig3_like(write4=50, write8=80, append4=66, append8=60)).passed
+
+
+class TestObs5to7:
+    def test_paper_numbers_pass(self):
+        fig4a, fig4b = fig4_like(), fig4_like(read=160, write=186, append=132)
+        assert check_obs5(fig4a, fig4b).passed
+        assert check_obs6(fig4a, fig4b).passed
+        assert check_obs7(fig4a).passed
+
+    def test_inter_beating_intra_fails_obs5(self):
+        fig4a = fig4_like(read=100, write=100)
+        fig4b = fig4_like(read=400, write=300)
+        assert not check_obs5(fig4a, fig4b).passed
+
+    def test_divergent_append_plateaus_fail_obs6(self):
+        assert not check_obs6(fig4_like(append=132), fig4_like(append=186)).passed
+
+    def test_wrong_ordering_fails_obs7(self):
+        assert not check_obs7(fig4_like(read=100, write=300, append=200)).passed
+
+
+class TestObs8:
+    def make(self, plateau=1128, small_cap=726):
+        result = ExperimentResult("fig4c", "t", ["mode"])
+        for key in ("append-8k", "write-8k", "append-16k", "write-16k"):
+            result.series[key] = [(1, plateau * 0.6), (2, plateau), (4, plateau)]
+        result.series["write-4k"] = [(1, 345), (4, small_cap), (14, small_cap)]
+        return result
+
+    def test_paper_numbers_pass(self):
+        assert check_obs8(self.make()).passed
+
+    def test_missing_device_limit_fails(self):
+        assert not check_obs8(self.make(plateau=700)).passed
+
+    def test_small_requests_reaching_limit_fails(self):
+        assert not check_obs8(self.make(small_cap=1128)).passed
+
+
+class TestObs11to13:
+    def fig6_like(self, zns_cov=0.02, conv_cov=0.9, zns_read=1.25, conv_read=0.4):
+        result = ExperimentResult("fig6", "t", ["device", "metric", "cov", "mean_mibs"])
+        result.add_row(device="zns", metric="write", cov=zns_cov, mean_mibs=1128)
+        result.add_row(device="conv", metric="write", cov=conv_cov, mean_mibs=390)
+        result.add_row(device="zns", metric="read", cov=0.9, mean_mibs=zns_read)
+        result.add_row(device="conv", metric="read", cov=1.5, mean_mibs=conv_read)
+        return result
+
+    def fig7_like(self, none=17.9, read=28.0, write=32.0, append=31.5,
+                  io_write=11.4, io_append=15.6):
+        result = ExperimentResult(
+            "fig7", "t", ["concurrent_op", "reset_p95_ms", "io_mean_latency_us"])
+        result.add_row(concurrent_op="none", reset_p95_ms=none, io_mean_latency_us="-")
+        result.add_row(concurrent_op="read", reset_p95_ms=read, io_mean_latency_us=80.0)
+        result.add_row(concurrent_op="write", reset_p95_ms=write, io_mean_latency_us=io_write)
+        result.add_row(concurrent_op="append", reset_p95_ms=append, io_mean_latency_us=io_append)
+        return result
+
+    def test_obs11_paper_numbers_pass(self):
+        assert check_obs11(self.fig6_like()).passed
+
+    def test_obs11_unstable_zns_fails(self):
+        assert not check_obs11(self.fig6_like(zns_cov=0.8)).passed
+
+    def test_obs11_conv_reads_winning_fails(self):
+        assert not check_obs11(self.fig6_like(zns_read=0.4, conv_read=1.25)).passed
+
+    def test_obs12_unperturbed_io_passes(self):
+        assert check_obs12(self.fig7_like()).passed
+
+    def test_obs12_perturbed_io_fails(self):
+        assert not check_obs12(self.fig7_like(io_write=20.0)).passed
+
+    def test_obs13_inflated_resets_pass(self):
+        assert check_obs13(self.fig7_like()).passed
+
+    def test_obs13_uninflated_resets_fail(self):
+        assert not check_obs13(self.fig7_like(read=18, write=18.5, append=18)).passed
+
+
+class TestCheckAll:
+    def test_runs_only_available_checks(self):
+        fig3 = fig3_like()
+        checks = check_all({"fig3": fig3})
+        assert [c.obs_id for c in checks] == [3]
+
+    def test_empty_results(self):
+        assert check_all({}) == []

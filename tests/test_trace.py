@@ -1,0 +1,133 @@
+"""Tests for trace recording, (de)serialization, and open-loop replay."""
+
+import pytest
+
+from repro.hostif import Opcode
+from repro.sim import ms, sec, us
+from repro.stacks import SpdkStack
+from repro.workload.trace import Trace, TraceRecord, TraceReplayer, synthetic_trace
+
+from .util import make_device
+
+
+class TestTraceRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1, Opcode.READ, 0, 1)
+        with pytest.raises(ValueError):
+            TraceRecord(0, Opcode.ZONE_MGMT, 0, 1)
+        with pytest.raises(ValueError):
+            TraceRecord(0, Opcode.READ, 0, 0)
+
+    def test_to_command(self):
+        cmd = TraceRecord(5, Opcode.WRITE, 8, 2).to_command()
+        assert cmd.opcode is Opcode.WRITE and cmd.slba == 8 and cmd.nlb == 2
+
+
+class TestTrace:
+    def test_records_sorted_by_time(self):
+        trace = Trace([
+            TraceRecord(300, Opcode.READ, 0, 1),
+            TraceRecord(100, Opcode.READ, 4, 1),
+        ])
+        assert [r.timestamp_ns for r in trace] == [100, 300]
+
+    def test_csv_roundtrip(self):
+        trace = synthetic_trace(ms(1), iops=5000, seed=3)
+        loaded = Trace.from_csv(trace.to_csv())
+        assert list(loaded) == list(trace)
+
+    def test_csv_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.from_csv("a,b,c\n1,2,3\n")
+
+    def test_csv_bad_opcode_rejected(self):
+        text = "timestamp_ns,opcode,slba,nlb\n1,erase,0,1\n"
+        with pytest.raises(ValueError):
+            Trace.from_csv(text)
+
+    def test_save_load(self, tmp_path):
+        trace = synthetic_trace(ms(1), iops=2000, seed=4)
+        path = tmp_path / "trace.csv"
+        trace.save(path)
+        assert list(Trace.load(path)) == list(trace)
+
+    def test_offered_iops(self):
+        trace = synthetic_trace(sec(1), iops=10_000, seed=5)
+        assert trace.offered_iops() == pytest.approx(10_000, rel=0.05)
+
+
+class TestSyntheticTrace:
+    def test_sequential_pattern_advances(self):
+        trace = synthetic_trace(ms(1), iops=5000, pattern="seq", nlb=2,
+                                address_range=(0, 100), arrival="uniform")
+        slbas = [r.slba for r in trace][:5]
+        assert slbas == [0, 2, 4, 6, 8]
+
+    def test_random_pattern_within_range(self):
+        trace = synthetic_trace(ms(1), iops=3000, address_range=(100, 200))
+        assert all(100 <= r.slba < 200 for r in trace)
+
+    def test_uniform_arrivals_evenly_spaced(self):
+        trace = synthetic_trace(ms(1), iops=4000, arrival="uniform")
+        stamps = [r.timestamp_ns for r in trace]
+        gaps = {b - a for a, b in zip(stamps, stamps[1:])}
+        assert len(gaps) <= 2  # integer rounding only
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(0, iops=100)
+        with pytest.raises(ValueError):
+            synthetic_trace(ms(1), iops=100, pattern="zipf")
+        with pytest.raises(ValueError):
+            synthetic_trace(ms(1), iops=100, address_range=(0, 0))
+
+
+class TestReplay:
+    def _device_with_data(self):
+        sim, dev = make_device()
+        for z in (0, 1):
+            dev.force_fill(z, dev.zones.zones[z].cap_lbas)
+        return sim, dev
+
+    def test_replay_completes_all_records(self):
+        sim, dev = self._device_with_data()
+        trace = synthetic_trace(ms(5), iops=5_000, opcode=Opcode.READ,
+                                address_range=(0, dev.zones.zones[0].cap_lbas))
+        replayer = TraceReplayer(SpdkStack(dev), trace).run()
+        assert replayer.completed == len(trace)
+        assert replayer.errors == 0
+        assert replayer.latency.count == len(trace)
+
+    def test_open_loop_latency_matches_device_when_underloaded(self):
+        sim, dev = self._device_with_data()
+        # 5 K reads/s << the 424 K cap: latency is the idle read latency.
+        trace = synthetic_trace(ms(5), iops=5_000, opcode=Opcode.READ,
+                                address_range=(0, dev.zones.zones[0].cap_lbas))
+        replayer = TraceReplayer(SpdkStack(dev), trace).run()
+        assert replayer.latency.mean_us == pytest.approx(73, rel=0.05)
+        assert replayer.late_submissions == 0
+
+    def test_overload_marks_late_submissions(self):
+        sim, dev = self._device_with_data()
+        # 2 M reads/s >> any cap: the replay cannot keep up at QD cap 8.
+        trace = synthetic_trace(ms(2), iops=2_000_000, opcode=Opcode.READ,
+                                address_range=(0, dev.zones.zones[0].cap_lbas))
+        replayer = TraceReplayer(SpdkStack(dev), trace, max_outstanding=8).run()
+        assert replayer.late_submissions > 0
+        assert replayer.completed == len(trace)
+
+    def test_outstanding_bound_validation(self):
+        sim, dev = self._device_with_data()
+        with pytest.raises(ValueError):
+            TraceReplayer(SpdkStack(dev), Trace(), max_outstanding=0)
+
+    def test_write_trace_on_zns_respects_wp(self):
+        sim, dev = make_device()
+        # A sequential write trace is exactly wp-ordered: all succeed.
+        trace = synthetic_trace(ms(2), iops=20_000, opcode=Opcode.WRITE,
+                                pattern="seq", nlb=1,
+                                address_range=(0, dev.zones.zones[0].cap_lbas))
+        replayer = TraceReplayer(SpdkStack(dev), trace, max_outstanding=1).run()
+        assert replayer.errors == 0
+        assert dev.zones.zones[0].wp == len(trace)

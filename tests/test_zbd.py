@@ -1,0 +1,97 @@
+"""Tests for the libzbd-style ZonedBlockDevice facade."""
+
+import pytest
+
+from repro.hostif import StatusError
+from repro.stacks import SpdkStack
+from repro.zns import ZoneState
+from repro.zns.zbd import ZonedBlockDevice
+
+from .util import make_device
+
+KIB = 1024
+
+
+@pytest.fixture()
+def zbd():
+    sim, dev = make_device()
+    return ZonedBlockDevice(dev, SpdkStack(dev))
+
+
+class TestGeometry:
+    def test_reports_profile_geometry(self, zbd):
+        assert zbd.nr_zones == 32
+        assert zbd.zone_size == 8 * 1024 * KIB
+        assert zbd.zone_capacity == 6 * 1024 * KIB
+        assert zbd.max_open_zones == 14
+
+
+class TestIo:
+    def test_pwrite_then_pread(self, zbd):
+        cpl = zbd.pwrite(0, 8 * KIB)
+        assert cpl.ok
+        assert zbd.pread(0, 8 * KIB).ok
+
+    def test_pwrite_at_wrong_offset_raises(self, zbd):
+        with pytest.raises(StatusError, match="zone_invalid_write"):
+            zbd.pwrite(64 * KIB, 4 * KIB)
+
+    def test_append_returns_byte_offset(self, zbd):
+        offset1, _ = zbd.append(1, 4 * KIB)
+        offset2, _ = zbd.append(1, 4 * KIB)
+        assert offset1 == zbd.zone_size  # zone 1 starts one zone-size in
+        assert offset2 == offset1 + 4 * KIB
+
+    def test_alignment_enforced(self, zbd):
+        with pytest.raises(ValueError):
+            zbd.pwrite(1, 4 * KIB)
+        with pytest.raises(ValueError):
+            zbd.pread(0, 1000)
+        with pytest.raises(ValueError):
+            zbd.append(0, 0)
+
+
+class TestManagement:
+    def test_open_close_lifecycle(self, zbd):
+        zbd.open_zone(3)
+        assert zbd.report_zones(3, 1)[0].state is ZoneState.EXPLICIT_OPEN
+        zbd.close_zone(3)
+        assert zbd.report_zones(3, 1)[0].state is ZoneState.EMPTY  # untouched wp
+
+    def test_finish_and_reset(self, zbd):
+        zbd.pwrite(0, 16 * KIB)
+        zbd.finish_zone(0)
+        info = zbd.report_zones(0, 1)[0]
+        assert info.state is ZoneState.FULL
+        assert info.wp == info.start + info.capacity
+        zbd.reset_zone(0)
+        assert zbd.report_zones(0, 1)[0].occupancy == 0
+
+    def test_finish_empty_zone_raises(self, zbd):
+        with pytest.raises(StatusError, match="invalid_zone_state_transition"):
+            zbd.finish_zone(5)
+
+    def test_reset_all_counts_nonempty_zones(self, zbd):
+        zbd.pwrite(0, 4 * KIB)
+        zbd.append(1, 4 * KIB)
+        assert zbd.reset_all() == 2
+        assert all(z.state is ZoneState.EMPTY for z in zbd.device.zones.zones)
+
+    def test_zone_index_bounds(self, zbd):
+        with pytest.raises(ValueError):
+            zbd.reset_zone(999)
+
+
+class TestReport:
+    def test_report_slice(self, zbd):
+        report = zbd.report_zones(start=2, count=3)
+        assert [z.index for z in report] == [2, 3, 4]
+
+    def test_occupancy_in_bytes(self, zbd):
+        zbd.pwrite(0, 12 * KIB)
+        assert zbd.report_zones(0, 1)[0].occupancy == 12 * KIB
+
+    def test_works_without_a_stack(self):
+        sim, dev = make_device()
+        raw = ZonedBlockDevice(dev)  # direct device access
+        assert raw.pwrite(0, 4 * KIB).ok

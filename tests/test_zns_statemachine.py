@@ -1,0 +1,310 @@
+"""Unit + property tests for the ZNS zone state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hostif import Status
+from repro.zns import ZoneManager, ZoneState
+
+
+def manager(num_zones=8, size=100, cap=80, max_open=3, max_active=5) -> ZoneManager:
+    return ZoneManager(num_zones, size, cap, max_open, max_active)
+
+
+class TestConstruction:
+    def test_zone_layout(self):
+        mgr = manager(num_zones=4, size=100, cap=80)
+        assert len(mgr.zones) == 4
+        assert [z.zslba for z in mgr.zones] == [0, 100, 200, 300]
+        assert all(z.state is ZoneState.EMPTY for z in mgr.zones)
+        assert all(z.wp == z.zslba for z in mgr.zones)
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            manager(max_open=0)
+        with pytest.raises(ValueError):
+            manager(max_open=6, max_active=5)
+        with pytest.raises(ValueError):
+            ZoneManager(0, 100, 80, 1, 1)
+
+    def test_zone_lookup(self):
+        mgr = manager()
+        assert mgr.zone_containing(0).index == 0
+        assert mgr.zone_containing(99).index == 0
+        assert mgr.zone_containing(100).index == 1
+        assert mgr.zone_containing(100 * 8) is None
+        assert mgr.zone_at_start(200).index == 2
+        assert mgr.zone_at_start(201) is None
+
+
+class TestWrites:
+    def test_write_implicitly_opens_and_advances_wp(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        status, opened = mgr.admit_write(zone, 0, 10)
+        assert status is Status.SUCCESS and opened
+        assert zone.state is ZoneState.IMPLICIT_OPEN
+        assert zone.wp == 10
+        assert mgr.open_count == 1 and mgr.active_count == 1
+
+    def test_second_write_does_not_reopen(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 10)
+        status, opened = mgr.admit_write(zone, 10, 10)
+        assert status is Status.SUCCESS and not opened
+
+    def test_nonsequential_write_rejected_without_side_effects(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        status, opened = mgr.admit_write(zone, 5, 10)
+        assert status is Status.ZONE_INVALID_WRITE and not opened
+        assert zone.state is ZoneState.EMPTY
+        assert mgr.open_count == 0 and mgr.active_count == 0
+        mgr.check_invariants()
+
+    def test_rejected_write_to_closed_zone_stays_closed(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 10)
+        mgr.close(zone)
+        status, _ = mgr.admit_write(zone, 99, 1)  # wrong wp
+        assert status is Status.ZONE_INVALID_WRITE
+        assert zone.state is ZoneState.CLOSED
+        mgr.check_invariants()
+
+    def test_write_filling_capacity_goes_full(self):
+        mgr = manager(size=100, cap=80)
+        zone = mgr.zones[0]
+        status, _ = mgr.admit_write(zone, 0, 80)
+        assert status is Status.SUCCESS
+        assert zone.state is ZoneState.FULL
+        assert mgr.open_count == 0 and mgr.active_count == 0
+
+    def test_write_beyond_capacity_is_boundary_error(self):
+        mgr = manager(size=100, cap=80)
+        zone = mgr.zones[0]
+        status, _ = mgr.admit_write(zone, 0, 81)
+        assert status is Status.ZONE_BOUNDARY_ERROR
+        assert zone.state is ZoneState.EMPTY
+
+    def test_write_to_full_zone_rejected(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 80)
+        status, _ = mgr.admit_write(zone, 80, 1)
+        assert status is Status.ZONE_IS_FULL
+
+    def test_max_active_blocks_opening_new_zone(self):
+        mgr = manager(max_open=2, max_active=2)
+        for i in (0, 1):
+            mgr.admit_write(mgr.zones[i], mgr.zones[i].zslba, 1)
+            mgr.close(mgr.zones[i])
+        # Both open slots are free, but the active budget is exhausted by
+        # the two closed zones.
+        status, _ = mgr.admit_write(mgr.zones[2], mgr.zones[2].zslba, 1)
+        assert status is Status.TOO_MANY_ACTIVE_ZONES
+
+    def test_max_open_blocks_reopening_closed_zone(self):
+        mgr = manager(max_open=1, max_active=3)
+        mgr.admit_write(mgr.zones[0], mgr.zones[0].zslba, 1)
+        mgr.close(mgr.zones[0])
+        mgr.admit_write(mgr.zones[1], mgr.zones[1].zslba, 1)
+        # zone 0 is CLOSED (active), zone 1 holds the single open slot.
+        status, _ = mgr.admit_write(mgr.zones[0], mgr.zones[0].wp, 1)
+        assert status is Status.TOO_MANY_OPEN_ZONES
+
+
+class TestAppends:
+    def test_append_assigns_write_pointer(self):
+        mgr = manager()
+        zone = mgr.zones[1]
+        status, opened, lba = mgr.admit_append(zone, zone.zslba, 4)
+        assert status is Status.SUCCESS and opened
+        assert lba == zone.zslba
+        status, opened, lba = mgr.admit_append(zone, zone.zslba, 4)
+        assert status is Status.SUCCESS and not opened
+        assert lba == zone.zslba + 4
+
+    def test_append_requires_zone_start_lba(self):
+        mgr = manager()
+        zone = mgr.zones[1]
+        status, _, lba = mgr.admit_append(zone, zone.zslba + 1, 4)
+        assert status is Status.INVALID_FIELD and lba == -1
+
+    def test_append_fills_zone(self):
+        mgr = manager(size=100, cap=80)
+        zone = mgr.zones[0]
+        status, _, _ = mgr.admit_append(zone, zone.zslba, 80)
+        assert status is Status.SUCCESS
+        assert zone.state is ZoneState.FULL
+
+    def test_append_to_full_zone_rejected(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_append(zone, zone.zslba, 80)
+        status, _, _ = mgr.admit_append(zone, zone.zslba, 1)
+        assert status is Status.ZONE_IS_FULL
+
+
+class TestExplicitTransitions:
+    def test_explicit_open_and_close(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        assert mgr.open(zone) is Status.SUCCESS
+        assert zone.state is ZoneState.EXPLICIT_OPEN
+        assert mgr.open(zone) is Status.SUCCESS  # idempotent
+        mgr.admit_write(zone, 0, 5)
+        assert zone.state is ZoneState.EXPLICIT_OPEN  # write keeps explicit
+        assert mgr.close(zone) is Status.SUCCESS
+        assert zone.state is ZoneState.CLOSED
+        assert mgr.close(zone) is Status.SUCCESS  # idempotent
+
+    def test_open_promotes_implicit_to_explicit(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 5)
+        assert zone.state is ZoneState.IMPLICIT_OPEN
+        assert mgr.open(zone) is Status.SUCCESS
+        assert zone.state is ZoneState.EXPLICIT_OPEN
+        assert mgr.open_count == 1
+
+    def test_close_of_untouched_open_zone_returns_empty(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.open(zone)
+        assert mgr.close(zone) is Status.SUCCESS
+        assert zone.state is ZoneState.EMPTY
+        assert mgr.active_count == 0
+
+    def test_open_respects_max_open(self):
+        mgr = manager(max_open=2, max_active=5)
+        assert mgr.open(mgr.zones[0]) is Status.SUCCESS
+        assert mgr.open(mgr.zones[1]) is Status.SUCCESS
+        assert mgr.open(mgr.zones[2]) is Status.TOO_MANY_OPEN_ZONES
+
+    def test_open_full_zone_rejected(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 80)
+        assert mgr.open(zone) is Status.INVALID_ZONE_STATE_TRANSITION
+
+    def test_close_empty_zone_rejected(self):
+        mgr = manager()
+        assert mgr.close(mgr.zones[0]) is Status.INVALID_ZONE_STATE_TRANSITION
+
+
+class TestFinish:
+    def test_finish_pads_to_full(self):
+        mgr = manager(size=100, cap=80)
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 30)
+        status, pad = mgr.finish(zone)
+        assert status is Status.SUCCESS and pad == 50
+        assert zone.state is ZoneState.FULL
+        assert zone.wp == zone.writable_end
+        assert zone.finished_pad_lbas == 50
+        assert mgr.active_count == 0
+
+    def test_finish_empty_zone_rejected(self):
+        mgr = manager()
+        status, pad = mgr.finish(mgr.zones[0])
+        assert status is Status.INVALID_ZONE_STATE_TRANSITION and pad == 0
+
+    def test_finish_full_zone_rejected(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 80)
+        status, _ = mgr.finish(zone)
+        assert status is Status.INVALID_ZONE_STATE_TRANSITION
+
+    def test_finish_closed_zone_allowed(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 10)
+        mgr.close(zone)
+        status, pad = mgr.finish(zone)
+        assert status is Status.SUCCESS and pad == 70
+
+
+class TestReset:
+    def test_reset_returns_prior_occupancy(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 40)
+        status, occupied, pad = mgr.reset(zone)
+        assert status is Status.SUCCESS
+        assert (occupied, pad) == (40, 0)
+        assert zone.state is ZoneState.EMPTY
+        assert zone.wp == zone.zslba
+
+    def test_reset_of_finished_zone_reports_pad(self):
+        mgr = manager(size=100, cap=80)
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 40)
+        mgr.finish(zone)
+        status, occupied, pad = mgr.reset(zone)
+        assert status is Status.SUCCESS
+        assert (occupied, pad) == (40, 40)
+        assert zone.finished_pad_lbas == 0
+
+    def test_reset_of_empty_zone_is_noop_success(self):
+        mgr = manager()
+        status, occupied, pad = mgr.reset(mgr.zones[0])
+        assert status is Status.SUCCESS and occupied == 0 and pad == 0
+
+    def test_reset_releases_limits(self):
+        mgr = manager(max_open=1, max_active=1)
+        mgr.admit_write(mgr.zones[0], 0, 10)
+        status, _ = mgr.admit_write(mgr.zones[1], 100, 10)
+        assert status is Status.TOO_MANY_ACTIVE_ZONES
+        mgr.reset(mgr.zones[0])
+        status, _ = mgr.admit_write(mgr.zones[1], 100, 10)
+        assert status is Status.SUCCESS
+
+
+# --------------------------------------------------------------------------
+# Property-based testing: no operation sequence may violate the invariants.
+# --------------------------------------------------------------------------
+
+_OPS = st.sampled_from(["write", "append", "open", "close", "finish", "reset"])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(st.tuples(_OPS, st.integers(0, 5), st.integers(1, 90)), max_size=60),
+)
+def test_random_operation_sequences_preserve_invariants(ops):
+    mgr = manager(num_zones=6, size=100, cap=80, max_open=2, max_active=3)
+    for op, zone_index, nlb in ops:
+        zone = mgr.zones[zone_index]
+        if op == "write":
+            mgr.admit_write(zone, zone.wp, nlb)
+        elif op == "append":
+            mgr.admit_append(zone, zone.zslba, nlb)
+        elif op == "open":
+            mgr.open(zone)
+        elif op == "close":
+            mgr.close(zone)
+        elif op == "finish":
+            mgr.finish(zone)
+        elif op == "reset":
+            mgr.reset(zone)
+        mgr.check_invariants()
+
+
+@settings(max_examples=100, deadline=None)
+@given(chunks=st.lists(st.integers(1, 30), min_size=1, max_size=20))
+def test_append_assigned_lbas_are_contiguous_and_ordered(chunks):
+    mgr = manager(num_zones=1, size=400, cap=300, max_open=1, max_active=1)
+    zone = mgr.zones[0]
+    expected = zone.zslba
+    for nlb in chunks:
+        status, _, lba = mgr.admit_append(zone, zone.zslba, nlb)
+        if expected + nlb > zone.writable_end:
+            assert status in (Status.ZONE_BOUNDARY_ERROR, Status.ZONE_IS_FULL)
+            break
+        assert status is Status.SUCCESS
+        assert lba == expected
+        expected += nlb
