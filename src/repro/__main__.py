@@ -3,7 +3,12 @@
 Commands
 --------
 ``env``          print the simulated testbed configuration (Table II)
-``run``          run paper experiments and print their tables
+``run``          run paper experiments and print their tables; ``--trace``
+                 / ``--trace-perfetto`` / ``--metrics`` record and export
+                 command-lifecycle observability data
+``profile``      run one experiment traced and print the per-layer
+                 simulated-time breakdown (``--self`` for a built-in
+                 smoke workload)
 ``observations`` run the experiments needed for the 13 observations and
                  report which reproduce (Table I)
 ``fidelity``     run the §IV emulator-fidelity matrix
@@ -13,10 +18,12 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .core import ExperimentConfig, check_all, run_experiments, table1, table2
 from .core.report import EXPERIMENT_RUNNERS
+from .obs import MetricsRegistry, Tracer
 from .sim.engine import ms
 
 
@@ -55,6 +62,25 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = sub.add_parser("run", help="run experiments, print tables")
     run_parser.add_argument("ids", nargs="*",
                             help="experiment ids (default: all; see 'list')")
+    run_parser.add_argument("--trace", metavar="PATH",
+                            help="record command-lifecycle spans to a "
+                                 "JSON-lines file (ns timestamps)")
+    run_parser.add_argument("--trace-perfetto", metavar="PATH",
+                            help="also export the Chrome trace_event JSON "
+                                 "(loadable in Perfetto / chrome://tracing)")
+    run_parser.add_argument("--metrics", action="store_true",
+                            help="print the metrics-registry table after "
+                                 "the run")
+    profile_parser = sub.add_parser(
+        "profile", help="trace one experiment, print per-layer breakdown")
+    profile_parser.add_argument("experiment", nargs="?",
+                                help="experiment id (see 'list')")
+    profile_parser.add_argument("--self", dest="self_profile",
+                                action="store_true",
+                                help="profile a built-in smoke workload "
+                                     "instead of an experiment")
+    profile_parser.add_argument("--trace", metavar="PATH",
+                                help="also write the JSON-lines trace")
     obs_parser = sub.add_parser(
         "observations", help="evaluate the 13 observations (Table I)")
     obs_parser.add_argument(
@@ -75,7 +101,41 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         config = _config_from_args(args)
+        tracer = Tracer() if (args.trace or args.trace_perfetto) else None
+        metrics = MetricsRegistry() if args.metrics else None
+        if tracer is not None or metrics is not None:
+            config = dataclasses.replace(config, tracer=tracer, metrics=metrics)
         run_experiments(args.ids or None, config, verbose=True)
+        if tracer is not None:
+            if args.trace:
+                count = tracer.write_jsonl(args.trace)
+                print(f"[trace] {count} events -> {args.trace}")
+            if args.trace_perfetto:
+                count = tracer.write_chrome_trace(args.trace_perfetto)
+                print(f"[trace] {count} trace_event records -> "
+                      f"{args.trace_perfetto}")
+        if metrics is not None:
+            print()
+            print(metrics.table())
+        return 0
+
+    if args.command == "profile":
+        from .obs.profile import profile_experiment, run_self_profile
+
+        if args.self_profile:
+            tracer, breakdown = run_self_profile()
+            print("[profile] built-in smoke workload (zn540_small)")
+        elif args.experiment:
+            config = _config_from_args(args)
+            tracer, breakdown, _result = profile_experiment(
+                args.experiment, config)
+            print(f"[profile] experiment {args.experiment}")
+        else:
+            profile_parser.error("give an experiment id or --self")
+        print(breakdown.table())
+        if args.trace:
+            count = tracer.write_jsonl(args.trace)
+            print(f"[trace] {count} events -> {args.trace}")
         return 0
 
     if args.command == "observations":

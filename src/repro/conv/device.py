@@ -17,6 +17,8 @@ from ..flash.backend import FlashBackend
 from ..hostif.commands import Command, Completion, Opcode
 from ..hostif.namespace import LBA_4K, LbaFormat, Namespace
 from ..hostif.status import Status
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_NS, MetricsRegistry
+from ..obs.tracer import Tracer, resolve_tracer
 from ..sim.engine import Event, Simulator
 from ..sim.resources import Container, Resource
 from ..sim.rng import LatencySampler, StreamFactory
@@ -47,22 +49,42 @@ class ConvDevice:
         gc_policy: Optional[GcPolicy] = None,
         gc_window: int = 16,
         gc_priority: int = PRIO_GC_URGENT,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.profile = profile
         streams = streams or StreamFactory()
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: True when the caller asked for observability (same contract as
+        #: ZnsDevice.observing): hot-path metric updates gate on this.
+        self.observing = metrics is not None or self.tracer.enabled
+        self.tracer.register_process(f"conv:{profile.name}")
         self.ftl = PageMappedFtl(profile.geometry, profile.overprovision)
         page_size = profile.geometry.page_size
         logical_bytes = self.ftl.logical_pages * page_size
         # Round the namespace down to a whole number of logical pages.
         self.namespace = Namespace(logical_bytes, lba_format)
         self.backend = FlashBackend(
-            sim, profile.geometry, profile.nand, profile.channel_bandwidth
+            sim, profile.geometry, profile.nand, profile.channel_bandwidth,
+            tracer=self.tracer,
+            metrics=self.metrics if self.observing else None,
         )
         self.controller = Resource(sim, capacity=1, name="controller")
         self.buffer = Container(sim, capacity=profile.write_buffer_bytes, name="wbuf")
         self._io_jitter = LatencySampler(streams.stream("conv-io"), profile.jitter_sigma)
-        self.counters = DeviceCounters()
+        self.counters = DeviceCounters(self.metrics)
+        self._latency_hist = {
+            op: self.metrics.histogram(
+                f"device.latency_ns.{op.value}", DEFAULT_LATENCY_BUCKETS_NS
+            )
+            for op in Opcode
+        }
+        self._wbuf_gauge = self.metrics.gauge("device.wbuf.level_bytes")
+        self._gc_victim_counter = self.metrics.counter("gc.victims_erased")
+        self._gc_copy_counter = self.metrics.counter("gc.pages_copied")
+        self.last_cid = 0
         self.gc_policy = gc_policy or GcPolicy(
             profile.gc_low_watermark, profile.gc_high_watermark
         )
@@ -90,13 +112,19 @@ class ConvDevice:
     def submit(self, command: Command) -> Event:
         if command.submitted_at < 0:
             command.submitted_at = self.sim.now
+        cid = (
+            self.tracer.begin_command(command.opcode.value)
+            if self.tracer.enabled
+            else 0
+        )
+        self.last_cid = cid
         done = self.sim.event()
         if command.opcode is Opcode.READ:
-            self.sim.process(self._exec_read(command, done))
+            self.sim.process(self._exec_read(command, done, cid))
         elif command.opcode is Opcode.WRITE:
-            self.sim.process(self._exec_write(command, done))
+            self.sim.process(self._exec_write(command, done, cid))
         elif command.opcode is Opcode.TRIM:
-            self.sim.process(self._exec_trim(command, done))
+            self.sim.process(self._exec_trim(command, done, cid))
         else:
             raise ValueError(
                 f"conventional device does not support {command.opcode.value}"
@@ -146,16 +174,38 @@ class ConvDevice:
             self.ftl.erase(victim)
 
     # ----------------------------------------------------------------- paths
-    def _complete(self, done, command: Command, status: Status, nbytes: int = 0) -> None:
+    def _complete(self, done, command: Command, status: Status, nbytes: int = 0,
+                  cid: int = 0) -> None:
         completion = Completion(command=command, status=status, completed_at=self.sim.now)
         self.counters.record(completion, nbytes)
+        if self.observing and status.ok and command.submitted_at >= 0:
+            self._latency_hist[command.opcode].observe(
+                self.sim.now - command.submitted_at
+            )
+        if self.tracer.enabled:
+            self.tracer.span(
+                "command", command.opcode.value,
+                command.submitted_at if command.submitted_at >= 0 else self.sim.now,
+                self.sim.now, track="commands", cid=cid,
+                opcode=command.opcode.value, status=status.value,
+                slba=command.slba, nlb=command.nlb,
+            )
         done.succeed(completion)
 
-    def _controller_service(self, service_ns: int) -> Generator:
+    def _controller_service(self, service_ns: int, cid: int = 0) -> Generator:
+        traced = self.tracer.enabled
+        queued_at = self.sim.now if traced else 0
         req = self.controller.request(PRIO_IO)
         yield req
+        granted_at = self.sim.now if traced else 0
         yield self.sim.timeout(self._io_jitter.jitter(service_ns))
         self.controller.release(req)
+        if traced:
+            if granted_at > queued_at:
+                self.tracer.span("queue", "controller.wait", queued_at,
+                                 granted_at, track="controller", cid=cid)
+            self.tracer.span("controller", "controller.service", granted_at,
+                             self.sim.now, track="controller", cid=cid)
 
     def _pages_spanned(self, command: Command) -> range:
         page_size = self.profile.geometry.page_size
@@ -163,15 +213,16 @@ class ConvDevice:
         end = start + self.namespace.bytes_of(command.nlb)
         return range(start // page_size, -(-end // page_size))
 
-    def _exec_read(self, command: Command, done) -> Generator:
+    def _exec_read(self, command: Command, done, cid: int = 0) -> Generator:
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
             Opcode.READ, nbytes, command.nlb, self.namespace.block_size
         )
-        yield from self._controller_service(service)
+        yield from self._controller_service(service, cid)
         if command.slba + command.nlb > self.namespace.capacity_lbas:
-            self._complete(done, command, Status.LBA_OUT_OF_RANGE)
+            self._complete(done, command, Status.LBA_OUT_OF_RANGE, cid=cid)
             return
+        nand_started = self.sim.now if self.tracer.enabled else 0
         reads = []
         for logical in self._pages_spanned(command):
             physical = self.ftl.lookup(logical)
@@ -181,30 +232,41 @@ class ConvDevice:
             take = min(self.profile.geometry.page_size, nbytes)
             reads.append(
                 self.sim.process(
-                    self.backend.read_page(die, priority=PRIO_IO, transfer_bytes=take)
+                    self.backend.read_page(die, priority=PRIO_IO,
+                                           transfer_bytes=take, cid=cid)
                 )
             )
         if reads:
             yield self.sim.all_of(reads)
-        self._complete(done, command, Status.SUCCESS, nbytes=nbytes)
+            if self.tracer.enabled:
+                self.tracer.span("nand", "read.fanout", nand_started,
+                                 self.sim.now, track="nand", cid=cid,
+                                 dies=len(reads))
+        self._complete(done, command, Status.SUCCESS, nbytes=nbytes, cid=cid)
 
-    def _exec_write(self, command: Command, done) -> Generator:
+    def _exec_write(self, command: Command, done, cid: int = 0) -> Generator:
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
             Opcode.WRITE, nbytes, command.nlb, self.namespace.block_size
         )
-        yield from self._controller_service(service)
+        yield from self._controller_service(service, cid)
         if command.slba + command.nlb > self.namespace.capacity_lbas:
-            self._complete(done, command, Status.LBA_OUT_OF_RANGE)
+            self._complete(done, command, Status.LBA_OUT_OF_RANGE, cid=cid)
             return
         pages = list(self._pages_spanned(command))
         flash_bytes = len(pages) * self.profile.geometry.page_size
+        admit_started = self.sim.now if self.tracer.enabled else 0
         yield self.sim.timeout(self.profile.dma_ns(nbytes) + self.profile.write_admit_ns)
         yield self.buffer.put(flash_bytes)
+        if self.observing:
+            self._wbuf_gauge.set(self.buffer.level)
+        if self.tracer.enabled:
+            self.tracer.span("buffer", "write.admit", admit_started,
+                             self.sim.now, track="buffer", cid=cid, nbytes=nbytes)
         for logical in pages:
             self.sim.process(self._flush_page(logical))
         self._maybe_wake_gc()
-        self._complete(done, command, Status.SUCCESS, nbytes=nbytes)
+        self._complete(done, command, Status.SUCCESS, nbytes=nbytes, cid=cid)
 
     def _flush_page(self, logical: int) -> Generator:
         while True:
@@ -218,10 +280,12 @@ class ConvDevice:
                 self._maybe_wake_gc()
                 yield self._space_freed
         die = self.ftl.die_of_physical(physical)
-        yield from self.backend.program_page(die, priority=PRIO_IO)
+        yield from self.backend.program_page(die, priority=PRIO_IO, label="flush")
         yield self.buffer.get(self.profile.geometry.page_size)
+        if self.observing:
+            self._wbuf_gauge.set(self.buffer.level)
 
-    def _exec_trim(self, command: Command, done) -> Generator:
+    def _exec_trim(self, command: Command, done, cid: int = 0) -> Generator:
         """NVMe deallocate: unmap pages so GC can reclaim them for free.
 
         Like the ZNS reset, trim is metadata work whose cost grows with
@@ -233,9 +297,9 @@ class ConvDevice:
         service = self.profile.cmd_service_ns(
             Opcode.WRITE, nbytes, command.nlb, self.namespace.block_size
         )
-        yield from self._controller_service(service)
+        yield from self._controller_service(service, cid)
         if command.slba + command.nlb > self.namespace.capacity_lbas:
-            self._complete(done, command, Status.LBA_OUT_OF_RANGE)
+            self._complete(done, command, Status.LBA_OUT_OF_RANGE, cid=cid)
             return
         unmapped = 0
         for logical in self._pages_spanned(command):
@@ -243,8 +307,13 @@ class ConvDevice:
                 unmapped += 1
         # Mapping-table updates: same per-LBA cost class as the ZNS
         # reset's unmapping work, scaled to the pages actually touched.
+        map_started = self.sim.now
         yield self.sim.timeout(unmapped * self.profile.per_lba_ns_4k * 4)
-        self._complete(done, command, Status.SUCCESS)
+        if self.tracer.enabled:
+            self.tracer.span("firmware", "trim.unmap", map_started,
+                             self.sim.now, track="firmware", cid=cid,
+                             pages=unmapped)
+        self._complete(done, command, Status.SUCCESS, cid=cid)
 
     # ----------------------------------------------------------------- GC
     def _maybe_wake_gc(self) -> None:
@@ -258,6 +327,9 @@ class ConvDevice:
                 yield self._gc_wakeup
                 self._gc_wakeup = self.sim.event()
             self._gc_running = True
+            run_started = self.sim.now
+            victims_before = self.gc_stats.victims_erased
+            copied_before = self.gc_stats.pages_copied
             self.gc_stats.start_run(self.sim.now)
             active: list = []
             while True:
@@ -276,10 +348,17 @@ class ConvDevice:
                 yield self.sim.any_of(active)
                 active = [p for p in active if p.is_alive]
             self.gc_stats.end_run(self.sim.now)
+            if self.tracer.enabled:
+                self.tracer.span(
+                    "gc", "gc.run", run_started, self.sim.now, track="gc",
+                    victims=self.gc_stats.victims_erased - victims_before,
+                    pages_copied=self.gc_stats.pages_copied - copied_before,
+                )
             self._gc_running = False
 
     def _gc_victim(self, victim) -> Generator:
         """Relocate one victim's valid pages, then erase and recycle it."""
+        started = self.sim.now
         try:
             copies = []
             for slot in range(self.ftl.pages_per_block):
@@ -294,16 +373,26 @@ class ConvDevice:
             if copies:
                 yield self.sim.all_of(copies)
                 self.gc_stats.pages_copied += len(copies)
+                self._gc_copy_counter.inc(len(copies))
             yield self.sim.process(
-                self.backend.erase_block(victim.die, priority=self.gc_priority)
+                self.backend.erase_block(
+                    victim.die, priority=self.gc_priority, label="gc.erase"
+                )
             )
             self.ftl.erase(victim)
             self.gc_stats.victims_erased += 1
+            self._gc_victim_counter.inc()
+            if self.tracer.enabled:
+                self.tracer.span("gc", "gc.victim", started, self.sim.now,
+                                 track="gc", die=victim.die,
+                                 pages_copied=len(copies))
             self._space_freed.succeed()
             self._space_freed = self.sim.event()
         finally:
             self._gc_inflight_blocks.discard(victim.block_id)
 
     def _gc_copy(self, src_die: int, dst_die: int) -> Generator:
-        yield from self.backend.read_page(src_die, priority=self.gc_priority)
-        yield from self.backend.program_page(dst_die, priority=self.gc_priority)
+        yield from self.backend.read_page(src_die, priority=self.gc_priority,
+                                          label="gc.read")
+        yield from self.backend.program_page(dst_die, priority=self.gc_priority,
+                                             label="gc.program")

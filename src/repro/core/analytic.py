@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import math
 
-from ..flash.geometry import MIB
 from ..hostif.commands import Opcode
 from ..zns.profiles import DeviceProfile
 

@@ -14,9 +14,12 @@ converge quickly (DESIGN.md §7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from ...hostif.namespace import LBA_4K, LBA_512, LbaFormat
+from ...obs.metrics import MetricsRegistry
+from ...obs.tracer import Tracer
 from ...sim.engine import Simulator, ms
 from ...sim.rng import StreamFactory
 from ...stacks.iouring import IoUringStack
@@ -59,6 +62,13 @@ class ExperimentConfig:
     interference_runtime_ns: int = ms(1_800)
     #: Zones kept on the simulated ZNS device (latency-irrelevant).
     num_zones: int = 64
+    #: Optional observability hooks threaded into every device the
+    #: experiment builds. Excluded from repr/compare so configs stay
+    #: hashable-by-value and byte-identical output is easy to verify.
+    tracer: Optional[Tracer] = field(default=None, repr=False, compare=False)
+    metrics: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     def scaled(self, duration_scale: float) -> "ExperimentConfig":
         """Stretch all durations/sweep sizes by a factor."""
@@ -87,7 +97,8 @@ def build_device(
     sim = Simulator()
     profile = profile or zn540(num_zones=config.num_zones)
     device = ZnsDevice(
-        sim, profile, lba_format=lba_format, streams=StreamFactory(config.seed)
+        sim, profile, lba_format=lba_format, streams=StreamFactory(config.seed),
+        tracer=config.tracer, metrics=config.metrics,
     )
     return sim, device
 

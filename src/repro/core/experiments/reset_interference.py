@@ -32,7 +32,6 @@ def _sweep_with_refill(device, zone_pool, count: int, latency: LatencyStats) -> 
     """Reset ``count`` fully-occupied zones, refilling pool zones between
     resets (the paper sweeps 400 distinct pre-filled zones; refilling a
     smaller pool is metadata-equivalent)."""
-    sim = device.sim
     for i in range(count):
         zone_index = zone_pool[i % len(zone_pool)]
         zone = device.zones.zones[zone_index]

@@ -16,7 +16,6 @@ zone-resets stays tractable.
 from __future__ import annotations
 
 from ...hostif.commands import Command, Opcode, ZoneAction
-from ...sim.engine import Simulator
 from ...workload.stats import LatencyStats
 from ..results import ExperimentResult
 from .common import KIB, ExperimentConfig, build_device

@@ -15,8 +15,10 @@ event loop small while preserving every queueing effect.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer, resolve_tracer
 from ..sim.engine import Simulator
 from ..sim.resources import Resource
 from .geometry import MIB, FlashGeometry
@@ -52,6 +54,8 @@ class FlashBackend:
         geometry: FlashGeometry,
         timing: NandTiming,
         channel_bandwidth: int = 800 * MIB,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if channel_bandwidth <= 0:
             raise ValueError(f"channel bandwidth must be positive, got {channel_bandwidth}")
@@ -59,6 +63,8 @@ class FlashBackend:
         self.geometry = geometry
         self.timing = timing
         self.channel_bandwidth = channel_bandwidth
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = metrics
         self.dies = [
             Resource(sim, capacity=1, name=f"die{i}") for i in range(geometry.total_dies)
         ]
@@ -67,6 +73,19 @@ class FlashBackend:
         ]
         self.counters = FlashCounters()
         self._die_busy_ns = [0] * geometry.total_dies
+        if metrics is not None:
+            self._op_counters = {
+                "read": metrics.counter("nand.pages_read"),
+                "program": metrics.counter("nand.pages_programmed"),
+                "erase": metrics.counter("nand.blocks_erased"),
+            }
+            self._die_busy_gauges = [
+                metrics.gauge(f"nand.die{i}.busy_ns")
+                for i in range(geometry.total_dies)
+            ]
+        else:
+            self._op_counters = None
+            self._die_busy_gauges = None
 
     # -- helpers -----------------------------------------------------------
     def transfer_ns(self, nbytes: int) -> int:
@@ -88,21 +107,34 @@ class FlashBackend:
         """Raw program bandwidth ceiling in bytes/second."""
         return self.timing.program_bandwidth(self.geometry)
 
+    def _publish(self, op: str, die_index: int) -> None:
+        self._op_counters[op].inc()
+        self._die_busy_gauges[die_index].set(self._die_busy_ns[die_index])
+
     # -- physical operations (generator processes) ---------------------------
     def read_page(self, die_index: int, priority: int = 0,
-                  transfer_bytes: int | None = None) -> Generator:
+                  transfer_bytes: int | None = None,
+                  cid: int = 0, label: str = "read") -> Generator:
         """NAND page read: sense on the die, then stream out on the bus.
 
         ``transfer_bytes`` limits the bus transfer to the requested slice
         of the page (a 4 KiB read senses a whole page but only moves
-        4 KiB over the channel).
+        4 KiB over the channel). ``cid``/``label`` tag the trace spans
+        (e.g. the GC relocation path labels its reads ``gc``).
         """
         die = self.dies[die_index]
+        traced = self.tracer.enabled
+        queued_at = self.sim.now if traced else 0
         req = die.request(priority)
         yield req
-        start = self.sim.now
+        # The die is held exclusively for exactly ``read_ns``, so busy
+        # accounting can use the constant instead of clock reads (the
+        # timestamps below are only needed for trace spans).
+        start = self.sim.now if traced else 0
         yield self.sim.timeout(self.timing.read_ns)
-        self._die_busy_ns[die_index] += self.sim.now - start
+        self._die_busy_ns[die_index] += self.timing.read_ns
+        if self._op_counters is not None:
+            self._publish("read", die_index)
         die.release(req)
         bus = self.buses[self.geometry.channel_of_die(die_index)]
         breq = bus.request(priority)
@@ -111,9 +143,18 @@ class FlashBackend:
         yield self.sim.timeout(self.transfer_ns(nbytes))
         bus.release(breq)
         self.counters.pages_read += 1
+        if traced:
+            if start > queued_at:
+                self.tracer.span("queue", f"{label}.die_wait", queued_at, start,
+                                 track=f"die{die_index}", cid=cid)
+            self.tracer.span("nand", f"{label}.page", start, self.sim.now,
+                             track=f"die{die_index}", cid=cid, die=die_index)
 
-    def program_page(self, die_index: int, priority: int = 0) -> Generator:
+    def program_page(self, die_index: int, priority: int = 0,
+                     cid: int = 0, label: str = "program") -> Generator:
         """NAND page program: stream in on the bus, then program the die."""
+        traced = self.tracer.enabled
+        started = self.sim.now if traced else 0
         bus = self.buses[self.geometry.channel_of_die(die_index)]
         breq = bus.request(priority)
         yield breq
@@ -122,19 +163,30 @@ class FlashBackend:
         die = self.dies[die_index]
         req = die.request(priority)
         yield req
-        start = self.sim.now
         yield self.sim.timeout(self.timing.program_ns)
-        self._die_busy_ns[die_index] += self.sim.now - start
+        self._die_busy_ns[die_index] += self.timing.program_ns
+        if self._op_counters is not None:
+            self._publish("program", die_index)
         die.release(req)
         self.counters.pages_programmed += 1
+        if traced:
+            self.tracer.span("nand", f"{label}.page", started, self.sim.now,
+                             track=f"die{die_index}", cid=cid, die=die_index)
 
-    def erase_block(self, die_index: int, priority: int = 0) -> Generator:
+    def erase_block(self, die_index: int, priority: int = 0,
+                    cid: int = 0, label: str = "erase") -> Generator:
         """NAND block erase: occupies the die for the (long) erase time."""
         die = self.dies[die_index]
+        traced = self.tracer.enabled
         req = die.request(priority)
         yield req
-        start = self.sim.now
+        start = self.sim.now if traced else 0
         yield self.sim.timeout(self.timing.erase_ns)
-        self._die_busy_ns[die_index] += self.sim.now - start
+        self._die_busy_ns[die_index] += self.timing.erase_ns
+        if self._op_counters is not None:
+            self._publish("erase", die_index)
         die.release(req)
         self.counters.blocks_erased += 1
+        if traced:
+            self.tracer.span("nand", f"{label}.block", start, self.sim.now,
+                             track=f"die{die_index}", cid=cid, die=die_index)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Generator, Protocol
 
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Event, Simulator
 from ..sim.resources import Resource
 from .commands import Command, Completion
@@ -40,6 +41,15 @@ class QueuePair:
         self._slots = Resource(self.sim, capacity=depth, name="qp")
         self.submitted = 0
         self.completed = 0
+        self.tracer = getattr(device, "tracer", NULL_TRACER)
+        metrics = (
+            getattr(device, "metrics", None)
+            if getattr(device, "observing", False)
+            else None
+        )
+        self._in_flight_gauge = (
+            metrics.gauge("host.qd.in_flight") if metrics is not None else None
+        )
 
     @property
     def in_flight(self) -> int:
@@ -52,13 +62,22 @@ class QueuePair:
         submission timestamp is taken when the command enters the
         submission queue (i.e. after any QD wait), matching §III-B.
         """
+        traced = self.tracer.enabled
+        queued_at = self.sim.now if traced else 0
         slot = self._slots.request()
         yield slot
+        if traced and self.sim.now > queued_at:
+            self.tracer.span("queue", "qd.wait", queued_at, self.sim.now,
+                             track="host", depth=self.depth)
         command.submitted_at = self.sim.now
         self.submitted += 1
+        if self._in_flight_gauge is not None:
+            self._in_flight_gauge.set(self._slots.in_use)
         try:
             completion: Completion = yield self.device.submit(command)
         finally:
             self._slots.release(slot)
+            if self._in_flight_gauge is not None:
+                self._in_flight_gauge.set(self._slots.in_use)
         self.completed += 1
         return completion

@@ -1,0 +1,42 @@
+"""Observability: command-lifecycle tracing + a metrics registry.
+
+``repro.obs`` makes the simulated ZNS stack explainable instead of a
+black box: a :class:`Tracer` records span-style lifecycle events for
+every NVMe command (queue wait → controller service → NAND/die occupancy
+→ buffer admission → firmware management work → completion) in simulated
+nanoseconds, and a :class:`MetricsRegistry` aggregates counters, gauges,
+and fixed-bucket histograms published by every layer.
+
+Both are injectable and default to off (:data:`NULL_TRACER`), so
+disabled runs produce byte-identical experiment output. See
+:mod:`repro.obs.profile` for the per-layer time-breakdown reports and
+the ``python -m repro profile`` command.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "resolve_tracer",
+]

@@ -353,6 +353,8 @@ class Simulator:
     # -- execution -------------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
         when, _, event = heapq.heappop(self._heap)
         if when < self._now:
             raise SimulationError("event scheduled in the past")

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..hostif.commands import Command
 from ..hostif.queuepair import DeviceTarget
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Event, Simulator
 
 __all__ = ["StackStats", "StorageStack", "UnsupportedOperation"]
@@ -58,6 +59,10 @@ class StorageStack:
         self.submit_overhead_ns = submit_overhead_ns
         self.complete_overhead_ns = complete_overhead_ns
         self.stats = StackStats()
+        # Share the device's tracer so host-side spans land in the same
+        # timeline as the device's command spans (NULL_TRACER when the
+        # device model doesn't carry one).
+        self.tracer = getattr(device, "tracer", NULL_TRACER)
 
     # -- protocol -----------------------------------------------------------
     def submit(self, command: Command) -> Event:
@@ -69,9 +74,25 @@ class StorageStack:
         return done
 
     def _issue(self, command: Command, done: Event):
+        traced = self.tracer.enabled
+        entered = self.sim.now if traced else 0
         yield self.sim.timeout(self.submit_overhead_ns)
         self.stats.dispatched += 1
-        completion = yield self.device.submit(command)
+        target = self.device.submit(command)
+        cid = 0
+        if traced:
+            # The device assigns the command's trace id in submit(); read
+            # it back immediately (single-threaded, deterministic) so
+            # host-side spans correlate with the device's spans.
+            cid = getattr(self.device, "last_cid", 0)
+            self.tracer.span("host", f"{self.name}.submit", entered,
+                             self.sim.now, track="host", cid=cid,
+                             opcode=command.opcode.value)
+        completion = yield target
+        complete_started = self.sim.now if traced else 0
         yield self.sim.timeout(self.complete_overhead_ns)
         completion.completed_at = self.sim.now
+        if traced:
+            self.tracer.span("host", f"{self.name}.complete", complete_started,
+                             self.sim.now, track="host", cid=cid)
         done.succeed(completion)

@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..hostif.commands import Command, Completion, Opcode
 from ..hostif.queuepair import DeviceTarget
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Event, Simulator
 from .base import StackStats
 
@@ -46,6 +47,7 @@ class MqDeadlineScheduler:
         self.sim: Simulator = device.sim
         self.stats = stats
         self.max_merge_bytes = max_merge_bytes
+        self.tracer = getattr(device, "tracer", NULL_TRACER)
         self._queues: dict[Optional[int], deque[tuple[Command, Event]]] = {}
         self._dispatching: set[Optional[int]] = set()
 
@@ -92,6 +94,10 @@ class MqDeadlineScheduler:
             merged = Command(Opcode.WRITE, slba=head_cmd.slba, nlb=total_nlb)
             self.stats.dispatched += 1
             self.stats.merged_away += len(batch) - 1
+            if self.tracer.enabled:
+                self.tracer.instant("host", "mqd.dispatch", self.sim.now,
+                                    track="host", zone=key,
+                                    batch=len(batch), nlb=total_nlb)
             completion: Completion = yield self.device.submit(merged)
             for cmd, done in batch:
                 done.succeed(

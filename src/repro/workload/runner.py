@@ -21,6 +21,7 @@ import numpy as np
 
 from ..hostif.commands import Command, Opcode, ZoneAction
 from ..hostif.status import Status
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_NS
 from ..sim.engine import Event, NS_PER_S, Simulator, us
 from .job import IoKind, JobSpec, Pattern
 from .patterns import RandomReadPattern, RangePattern, ZoneAppendCursor, ZoneWriteCursor
@@ -81,6 +82,26 @@ class JobRunner:
         )
         self._resetting: set[int] = set()
         self._started = False
+        # Publish per-job measured counters into the device's registry so
+        # ``--metrics`` / ``repro profile`` see workload-level aggregates
+        # alongside the device-internal ones. Only when observability was
+        # requested — default runs must not pay per-op histogram updates.
+        metrics = (
+            getattr(device, "metrics", None)
+            if getattr(device, "observing", False)
+            else None
+        )
+        if metrics is not None:
+            prefix = f"workload.{job.name}"
+            self._ops_counter = metrics.counter(f"{prefix}.ops")
+            self._bytes_counter = metrics.counter(f"{prefix}.bytes")
+            self._latency_hist = metrics.histogram(
+                f"{prefix}.latency_ns", DEFAULT_LATENCY_BUCKETS_NS
+            )
+        else:
+            self._ops_counter = None
+            self._bytes_counter = None
+            self._latency_hist = None
 
     # -- orchestration ------------------------------------------------------
     def start(self) -> Event:
@@ -186,6 +207,10 @@ class JobRunner:
         self.result.bytes += self.job.block_size
         self.result.latency.record(completion.latency_ns)
         self.result.timeseries.record(self.sim.now, self.job.block_size)
+        if self._ops_counter is not None:
+            self._ops_counter.inc()
+            self._bytes_counter.inc(self.job.block_size)
+            self._latency_hist.observe(completion.latency_ns)
 
 
 class ResetSweep:

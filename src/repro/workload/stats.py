@@ -16,18 +16,44 @@ __all__ = ["LatencyStats", "TimeSeries"]
 
 
 class LatencyStats:
-    """A latency sample set with percentile queries."""
+    """A latency sample set with percentile queries.
+
+    Percentile/min/max/mean queries share one sorted ``np.int64`` array,
+    built lazily and invalidated on every write, so repeated percentile
+    reads over a large sample set sort once instead of per call.
+    """
 
     def __init__(self) -> None:
         self._samples: list[int] = []
+        self._sorted: np.ndarray | None = None
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency {latency_ns}")
         self._samples.append(latency_ns)
+        self._sorted = None
+
+    def record_many(self, latencies_ns) -> None:
+        """Record a batch of samples (any array-like of non-negative ns)."""
+        arr = np.asarray(latencies_ns)
+        if arr.size == 0:
+            return
+        if not np.issubdtype(arr.dtype, np.number):
+            raise ValueError(f"non-numeric latencies (dtype {arr.dtype})")
+        if arr.min() < 0:
+            raise ValueError(f"negative latency {int(arr.min())}")
+        self._samples.extend(int(v) for v in arr.ravel())
+        self._sorted = None
 
     def merge(self, other: "LatencyStats") -> None:
         self._samples.extend(other._samples)
+        self._sorted = None
+
+    def _sorted_samples(self) -> np.ndarray:
+        self._require_samples()
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(self._samples, dtype=np.int64))
+        return self._sorted
 
     @property
     def count(self) -> int:
@@ -35,25 +61,21 @@ class LatencyStats:
 
     @property
     def mean_ns(self) -> float:
-        self._require_samples()
-        return float(np.mean(self._samples))
+        return float(np.mean(self._sorted_samples()))
 
     @property
     def min_ns(self) -> int:
-        self._require_samples()
-        return int(min(self._samples))
+        return int(self._sorted_samples()[0])
 
     @property
     def max_ns(self) -> int:
-        self._require_samples()
-        return int(max(self._samples))
+        return int(self._sorted_samples()[-1])
 
     def percentile_ns(self, p: float) -> float:
         """The p-th percentile latency (e.g. p=95 for the paper's p95)."""
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        self._require_samples()
-        return float(np.percentile(self._samples, p))
+        return float(np.percentile(self._sorted_samples(), p))
 
     @property
     def mean_us(self) -> float:
@@ -112,5 +134,39 @@ class TimeSeries:
             for bucket in range(first, last + 1)
         ]
 
+    @property
+    def interval_count(self) -> int:
+        """Intervals spanned by the recorded data (including empty ones)."""
+        if not self._bytes:
+            return 0
+        return max(self._bytes) - min(self._bytes) + 1
+
+    @property
+    def zero_intervals(self) -> int:
+        """Spanned intervals in which no I/O completed (stall intervals)."""
+        if not self._bytes:
+            return 0
+        first, last = min(self._bytes), max(self._bytes)
+        return sum(
+            1 for bucket in range(first, last + 1) if bucket not in self._bytes
+        )
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of spanned intervals with zero completions.
+
+        The Fig. 6 interference timelines care about exactly this: reset
+        storms starve writes, which shows up as empty intervals in the
+        victim's throughput series.
+        """
+        count = self.interval_count
+        if count == 0:
+            return 0.0
+        return self.zero_intervals / count
+
     def bandwidth_values(self) -> np.ndarray:
-        return np.asarray([v for _, v in self.bandwidth_series()])
+        # dtype pinned so an empty series is float64, not the ambiguous
+        # default of np.asarray([]).
+        return np.asarray(
+            [v for _, v in self.bandwidth_series()], dtype=np.float64
+        )

@@ -14,7 +14,7 @@ benchmark harness; see EXPERIMENTS.md for the complete ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from ..hostif.commands import Command, Opcode, ZoneAction
 from ..hostif.namespace import LBA_4K

@@ -27,6 +27,8 @@ from ..flash.backend import FlashBackend
 from ..hostif.commands import Command, Completion, Opcode, ZoneAction
 from ..hostif.namespace import LBA_4K, LbaFormat, Namespace
 from ..hostif.status import Status
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_NS, Counter, MetricsRegistry
+from ..obs.tracer import Tracer, resolve_tracer
 from ..sim.engine import Event, Simulator
 from ..sim.resources import Container, Resource
 from ..sim.rng import LatencySampler, StreamFactory
@@ -44,23 +46,60 @@ PRIO_MGMT = 10
 
 
 class DeviceCounters:
-    """Completion accounting for a device."""
+    """Completion accounting, backed by a :class:`MetricsRegistry`.
 
-    def __init__(self) -> None:
-        self.completed: dict[Opcode, int] = {op: 0 for op in Opcode}
-        self.errors: dict[Status, int] = {}
-        self.bytes_written = 0
-        self.bytes_read = 0
+    Historically this held plain dicts; the registry is now the single
+    source of truth and the dict-style attributes (``completed``,
+    ``errors``, ``bytes_written``, ``bytes_read``) are read-only views
+    kept for the existing callers and tests.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._completed = {
+            op: self.metrics.counter(f"device.completed.{op.value}")
+            for op in Opcode
+        }
+        self._bytes_written = self.metrics.counter("device.bytes_written")
+        self._bytes_read = self.metrics.counter("device.bytes_read")
+        self._errors: dict[Status, Counter] = {}
 
     def record(self, completion: Completion, nbytes: int) -> None:
         if completion.ok:
-            self.completed[completion.command.opcode] += 1
-            if completion.command.opcode in (Opcode.WRITE, Opcode.APPEND):
-                self.bytes_written += nbytes
-            elif completion.command.opcode is Opcode.READ:
-                self.bytes_read += nbytes
+            # Direct ``.value`` bumps (amounts are known non-negative):
+            # this runs once per completed command even with observability
+            # disabled, so it must stay as close to a plain ``+=`` as the
+            # registry backing allows.
+            opcode = completion.command.opcode
+            self._completed[opcode].value += 1
+            if opcode in (Opcode.WRITE, Opcode.APPEND):
+                self._bytes_written.value += nbytes
+            elif opcode is Opcode.READ:
+                self._bytes_read.value += nbytes
         else:
-            self.errors[completion.status] = self.errors.get(completion.status, 0) + 1
+            counter = self._errors.get(completion.status)
+            if counter is None:
+                counter = self.metrics.counter(
+                    f"device.errors.{completion.status.value}"
+                )
+                self._errors[completion.status] = counter
+            counter.inc()
+
+    @property
+    def completed(self) -> dict[Opcode, int]:
+        return {op: counter.value for op, counter in self._completed.items()}
+
+    @property
+    def errors(self) -> dict[Status, int]:
+        return {status: c.value for status, c in self._errors.items() if c.value}
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written.value
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes_read.value
 
 
 class ZnsDevice:
@@ -72,10 +111,19 @@ class ZnsDevice:
         profile: DeviceProfile,
         lba_format: LbaFormat = LBA_4K,
         streams: Optional[StreamFactory] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.profile = profile
         streams = streams or StreamFactory()
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: True when the caller asked for observability. Hot paths gate
+        #: per-command histogram/gauge updates on this so default runs
+        #: pay only the always-on DeviceCounters facade.
+        self.observing = metrics is not None or self.tracer.enabled
+        self.tracer.register_process(f"zns:{profile.name}")
         self.namespace = Namespace(profile.capacity_bytes, lba_format)
         block = self.namespace.block_size
         self.zones = ZoneManager(
@@ -85,8 +133,11 @@ class ZnsDevice:
             max_open=profile.max_open_zones,
             max_active=profile.max_active_zones,
         )
+        self.zones.on_transition = self._on_zone_transition
         self.backend = FlashBackend(
-            sim, profile.geometry, profile.nand, profile.channel_bandwidth
+            sim, profile.geometry, profile.nand, profile.channel_bandwidth,
+            tracer=self.tracer,
+            metrics=self.metrics if self.observing else None,
         )
         self.striping = ZoneStriping(
             profile.geometry, profile.zone_size_bytes, profile.stripe_width
@@ -98,7 +149,20 @@ class ZnsDevice:
         self._mgmt_jitter = LatencySampler(
             streams.stream("zns-mgmt"), profile.mgmt_jitter_sigma
         )
-        self.counters = DeviceCounters()
+        self.counters = DeviceCounters(self.metrics)
+        self._latency_hist = {
+            op: self.metrics.histogram(
+                f"device.latency_ns.{op.value}", DEFAULT_LATENCY_BUCKETS_NS
+            )
+            for op in Opcode
+        }
+        self._wbuf_gauge = self.metrics.gauge("device.wbuf.level_bytes")
+        self._open_gauge = self.metrics.gauge("device.zones.open")
+        self._active_gauge = self.metrics.gauge("device.zones.active")
+        self._transition_counter = self.metrics.counter("device.zones.transitions")
+        #: Command id of the most recent ``submit`` (host stacks read it
+        #: to tie their own spans to the device-assigned trace id).
+        self.last_cid = 0
         self._inflight_writes: dict[int, int] = {}
         self._mgmt_busy: set[int] = set()
         self._zone_residual: dict[int, int] = {}
@@ -112,15 +176,21 @@ class ZnsDevice:
         """Begin executing a command; the event fires with a Completion."""
         if command.submitted_at < 0:
             command.submitted_at = self.sim.now
+        cid = (
+            self.tracer.begin_command(command.opcode.value)
+            if self.tracer.enabled
+            else 0
+        )
+        self.last_cid = cid
         done = self.sim.event()
         if command.opcode is Opcode.READ:
-            self.sim.process(self._exec_read(command, done))
+            self.sim.process(self._exec_read(command, done, cid))
         elif command.opcode is Opcode.WRITE:
-            self.sim.process(self._exec_write(command, done))
+            self.sim.process(self._exec_write(command, done, cid))
         elif command.opcode is Opcode.APPEND:
-            self.sim.process(self._exec_append(command, done))
+            self.sim.process(self._exec_append(command, done, cid))
         elif command.opcode is Opcode.ZONE_MGMT:
-            self.sim.process(self._exec_zone_mgmt(command, done))
+            self.sim.process(self._exec_zone_mgmt(command, done, cid))
         else:
             raise ValueError(
                 f"ZNS device does not support {command.opcode.value} "
@@ -185,12 +255,29 @@ class ZnsDevice:
         if nbytes <= 0:
             return 0
         self.buffer.put(nbytes)
+        if self.observing:
+            self._wbuf_gauge.set(self.buffer.level)
         self._enqueue_flush(zone_index, nbytes)
         return nbytes
 
     # --------------------------------------------------------------- helpers
+    def _on_zone_transition(self, zone: Zone, old: ZoneState,
+                            new: ZoneState) -> None:
+        if not self.observing:
+            return
+        self._open_gauge.set(self.zones.open_count)
+        self._active_gauge.set(self.zones.active_count)
+        self._transition_counter.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "zone", f"{old.name}->{new.name}", self.sim.now,
+                track="zones", zone=zone.index,
+                open=self.zones.open_count, active=self.zones.active_count,
+            )
+
     def _complete(self, done: Event, command: Command, status: Status,
-                  nbytes: int = 0, assigned_lba: Optional[int] = None) -> None:
+                  nbytes: int = 0, assigned_lba: Optional[int] = None,
+                  cid: int = 0) -> None:
         completion = Completion(
             command=command,
             status=status,
@@ -198,13 +285,34 @@ class ZnsDevice:
             assigned_lba=assigned_lba,
         )
         self.counters.record(completion, nbytes)
+        if self.observing and status.ok and command.submitted_at >= 0:
+            self._latency_hist[command.opcode].observe(
+                self.sim.now - command.submitted_at
+            )
+        if self.tracer.enabled:
+            self.tracer.span(
+                "command", command.opcode.value,
+                command.submitted_at if command.submitted_at >= 0 else self.sim.now,
+                self.sim.now, track="commands", cid=cid,
+                opcode=command.opcode.value, status=status.value,
+                slba=command.slba, nlb=command.nlb,
+            )
         done.succeed(completion)
 
-    def _controller_service(self, service_ns: int) -> Generator:
+    def _controller_service(self, service_ns: int, cid: int = 0) -> Generator:
+        traced = self.tracer.enabled
+        queued_at = self.sim.now if traced else 0
         req = self.controller.request(PRIO_IO)
         yield req
+        granted_at = self.sim.now if traced else 0
         yield self.sim.timeout(self._io_jitter.jitter(service_ns))
         self.controller.release(req)
+        if traced:
+            if granted_at > queued_at:
+                self.tracer.span("queue", "controller.wait", queued_at,
+                                 granted_at, track="controller", cid=cid)
+            self.tracer.span("controller", "controller.service", granted_at,
+                             self.sim.now, track="controller", cid=cid)
 
     def _zone_for_io(self, command: Command) -> tuple[Optional[Zone], Status]:
         nlb = command.nlb
@@ -221,32 +329,37 @@ class ZnsDevice:
         self._fw_debt_ns += self.profile.fw_io_ns(opcode)
 
     # ------------------------------------------------------------------ read
-    def _exec_read(self, command: Command, done: Event) -> Generator:
+    def _exec_read(self, command: Command, done: Event, cid: int = 0) -> Generator:
         zone, status = self._zone_for_io(command)
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
             Opcode.READ, nbytes, command.nlb, self.namespace.block_size
         )
-        yield from self._controller_service(service)
+        yield from self._controller_service(service, cid)
         if status.ok and zone.state is ZoneState.OFFLINE:
             status = Status.ZONE_IS_OFFLINE  # data is gone; READ_ONLY still reads
         if not status.ok:
-            self._complete(done, command, status)
+            self._complete(done, command, status, cid=cid)
             return
         offset = self.namespace.bytes_of(command.slba - zone.zslba)
         spans = self.striping.dies_for_span(zone.index, offset, nbytes)
+        nand_started = self.sim.now if self.tracer.enabled else 0
         reads = [
             self.sim.process(
-                self.backend.read_page(die, priority=PRIO_IO, transfer_bytes=take)
+                self.backend.read_page(die, priority=PRIO_IO,
+                                       transfer_bytes=take, cid=cid)
             )
             for die, take in spans
         ]
         yield self.sim.all_of(reads)
+        if self.tracer.enabled:
+            self.tracer.span("nand", "read.fanout", nand_started, self.sim.now,
+                             track="nand", cid=cid, dies=len(spans))
         self._note_io_fw_work(Opcode.READ)
-        self._complete(done, command, Status.SUCCESS, nbytes=nbytes)
+        self._complete(done, command, Status.SUCCESS, nbytes=nbytes, cid=cid)
 
     # ----------------------------------------------------------------- write
-    def _exec_write(self, command: Command, done: Event) -> Generator:
+    def _exec_write(self, command: Command, done: Event, cid: int = 0) -> Generator:
         zone, status = self._zone_for_io(command)
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
@@ -260,33 +373,49 @@ class ZnsDevice:
             # sequential-write violation and is rejected (§II-B).
             status = Status.ZONE_INVALID_WRITE
         if not status.ok:
-            yield from self._controller_service(service)
-            self._complete(done, command, status)
+            yield from self._controller_service(service, cid)
+            self._complete(done, command, status, cid=cid)
             return
         self._inflight_writes[zone.index] = self._inflight_writes.get(zone.index, 0) + 1
         try:
+            traced = self.tracer.enabled
+            queued_at = self.sim.now if traced else 0
             req = self.controller.request(PRIO_IO)
             yield req
+            granted_at = self.sim.now if traced else 0
             status, opened = self.zones.admit_write(zone, command.slba, command.nlb)
             if status.ok and opened:
                 service += self.profile.implicit_open_write_ns
             yield self.sim.timeout(self._io_jitter.jitter(service))
             self.controller.release(req)
+            if traced:
+                if granted_at > queued_at:
+                    self.tracer.span("queue", "controller.wait", queued_at,
+                                     granted_at, track="controller", cid=cid)
+                self.tracer.span("controller", "controller.service", granted_at,
+                                 self.sim.now, track="controller", cid=cid)
             if not status.ok:
-                self._complete(done, command, status)
+                self._complete(done, command, status, cid=cid)
                 return
+            admit_started = self.sim.now if traced else 0
             yield self.sim.timeout(
                 self.profile.dma_ns(nbytes) + self.profile.write_admit_ns
             )
             yield self.buffer.put(nbytes)
+            if self.observing:
+                self._wbuf_gauge.set(self.buffer.level)
+            if traced:
+                self.tracer.span("buffer", "write.admit", admit_started,
+                                 self.sim.now, track="buffer", cid=cid,
+                                 nbytes=nbytes)
             self._enqueue_flush(zone.index, nbytes)
             self._note_io_fw_work(Opcode.WRITE)
-            self._complete(done, command, Status.SUCCESS, nbytes=nbytes)
+            self._complete(done, command, Status.SUCCESS, nbytes=nbytes, cid=cid)
         finally:
             self._inflight_writes[zone.index] -= 1
 
     # ---------------------------------------------------------------- append
-    def _exec_append(self, command: Command, done: Event) -> Generator:
+    def _exec_append(self, command: Command, done: Event, cid: int = 0) -> Generator:
         zone, status = self._zone_for_io(command)
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
@@ -295,11 +424,14 @@ class ZnsDevice:
         if status.ok and zone.index in self._mgmt_busy:
             status = Status.INVALID_ZONE_STATE_TRANSITION
         if not status.ok:
-            yield from self._controller_service(service)
-            self._complete(done, command, status)
+            yield from self._controller_service(service, cid)
+            self._complete(done, command, status, cid=cid)
             return
+        traced = self.tracer.enabled
+        queued_at = self.sim.now if traced else 0
         req = self.controller.request(PRIO_IO)
         yield req
+        granted_at = self.sim.now if traced else 0
         status, opened, assigned = self.zones.admit_append(
             zone, command.slba, command.nlb
         )
@@ -307,18 +439,31 @@ class ZnsDevice:
             service += self.profile.implicit_open_append_ns
         yield self.sim.timeout(self._io_jitter.jitter(service))
         self.controller.release(req)
+        if traced:
+            if granted_at > queued_at:
+                self.tracer.span("queue", "controller.wait", queued_at,
+                                 granted_at, track="controller", cid=cid)
+            self.tracer.span("controller", "controller.service", granted_at,
+                             self.sim.now, track="controller", cid=cid)
         if not status.ok:
-            self._complete(done, command, status)
+            self._complete(done, command, status, cid=cid)
             return
+        admit_started = self.sim.now if traced else 0
         yield self.sim.timeout(
             self.profile.dma_ns(nbytes)
             + self.profile.write_admit_ns
             + self.profile.append_alloc_ns
         )
         yield self.buffer.put(nbytes)
+        if self.observing:
+            self._wbuf_gauge.set(self.buffer.level)
+        if traced:
+            self.tracer.span("buffer", "append.admit", admit_started,
+                             self.sim.now, track="buffer", cid=cid, nbytes=nbytes)
         self._enqueue_flush(zone.index, nbytes)
         self._note_io_fw_work(Opcode.APPEND)
-        self._complete(done, command, Status.SUCCESS, nbytes=nbytes, assigned_lba=assigned)
+        self._complete(done, command, Status.SUCCESS, nbytes=nbytes,
+                       assigned_lba=assigned, cid=cid)
 
     # -------------------------------------------------------------- flushing
     def _enqueue_flush(self, zone_index: int, nbytes: int) -> None:
@@ -334,54 +479,70 @@ class ZnsDevice:
         self._zone_residual[zone_index] = total
 
     def _flush_page(self, die: int) -> Generator:
-        yield from self.backend.program_page(die, priority=PRIO_IO)
+        yield from self.backend.program_page(die, priority=PRIO_IO, label="flush")
         yield self.buffer.get(self.profile.geometry.page_size)
+        if self.observing:
+            self._wbuf_gauge.set(self.buffer.level)
 
     def _drop_residual(self, zone_index: int) -> None:
         """Discard a partial buffered page (zone reset path)."""
         residual = self._zone_residual.pop(zone_index, 0)
         if residual:
             self.buffer.get(residual)
+            if self.observing:
+                self._wbuf_gauge.set(self.buffer.level)
         self._zone_page_cursor.pop(zone_index, None)
 
     # ------------------------------------------------------------- zone mgmt
-    def _exec_zone_mgmt(self, command: Command, done: Event) -> Generator:
+    def _exec_zone_mgmt(self, command: Command, done: Event, cid: int = 0) -> Generator:
         zone = self.zones.zone_at_start(command.slba)
         if zone is None:
             yield self.sim.timeout(self.profile.zone_open_ns)
-            self._complete(done, command, Status.INVALID_FIELD)
+            self._complete(done, command, Status.INVALID_FIELD, cid=cid)
             return
         if zone.index in self._mgmt_busy:
             yield self.sim.timeout(self.profile.zone_open_ns)
-            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION)
+            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION,
+                           cid=cid)
             return
         action = command.action
         if action is ZoneAction.OPEN:
-            yield from self._quick_mgmt(self.profile.zone_open_ns)
-            self._complete(done, command, self.zones.open(zone))
+            yield from self._quick_mgmt(self.profile.zone_open_ns, "open", cid)
+            self._complete(done, command, self.zones.open(zone), cid=cid)
         elif action is ZoneAction.CLOSE:
-            yield from self._quick_mgmt(self.profile.zone_close_ns)
-            self._complete(done, command, self.zones.close(zone))
+            yield from self._quick_mgmt(self.profile.zone_close_ns, "close", cid)
+            self._complete(done, command, self.zones.close(zone), cid=cid)
         elif action is ZoneAction.FINISH:
-            yield from self._exec_finish(zone, command, done)
+            yield from self._exec_finish(zone, command, done, cid)
         elif action is ZoneAction.RESET:
-            yield from self._exec_reset(zone, command, done)
+            yield from self._exec_reset(zone, command, done, cid)
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown zone action {action}")
 
-    def _quick_mgmt(self, nominal_ns: int) -> Generator:
+    def _quick_mgmt(self, nominal_ns: int, name: str = "mgmt",
+                    cid: int = 0) -> Generator:
+        queued_at = self.sim.now
         req = self.firmware.request(PRIO_IO)
         yield req
+        granted_at = self.sim.now
         yield self.sim.timeout(self._mgmt_jitter.jitter(nominal_ns))
         self.firmware.release(req)
+        if self.tracer.enabled:
+            if granted_at > queued_at:
+                self.tracer.span("queue", "firmware.wait", queued_at,
+                                 granted_at, track="firmware", cid=cid)
+            self.tracer.span("firmware", f"{name}.service", granted_at,
+                             self.sim.now, track="firmware", cid=cid)
 
-    def _exec_finish(self, zone: Zone, command: Command, done: Event) -> Generator:
+    def _exec_finish(self, zone: Zone, command: Command, done: Event,
+                     cid: int = 0) -> Generator:
         # The paper: finish is not permitted on an EMPTY or FULL zone.
         if zone.state not in (
             ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN, ZoneState.CLOSED
         ) or zone.occupancy_lbas == 0:
-            yield from self._quick_mgmt(self.profile.zone_open_ns)
-            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION)
+            yield from self._quick_mgmt(self.profile.zone_open_ns, "finish", cid)
+            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION,
+                           cid=cid)
             return
         remaining_bytes = self.namespace.bytes_of(zone.remaining_lbas)
         work = self._mgmt_jitter.jitter(self.profile.finish_work_ns(remaining_bytes))
@@ -393,16 +554,18 @@ class ZnsDevice:
         )
         self._mgmt_busy.add(zone.index)
         try:
-            yield from self._mgmt_work(work, chunk_ns)
+            yield from self._mgmt_work(work, chunk_ns, "finish", cid)
         finally:
             self._mgmt_busy.discard(zone.index)
         status, _ = self.zones.finish(zone)
-        self._complete(done, command, status)
+        self._complete(done, command, status, cid=cid)
 
-    def _exec_reset(self, zone: Zone, command: Command, done: Event) -> Generator:
+    def _exec_reset(self, zone: Zone, command: Command, done: Event,
+                    cid: int = 0) -> Generator:
         if zone.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
-            yield from self._quick_mgmt(self.profile.zone_open_ns)
-            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION)
+            yield from self._quick_mgmt(self.profile.zone_open_ns, "reset", cid)
+            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION,
+                           cid=cid)
             return
         occupied = zone.occupancy_lbas - zone.finished_pad_lbas
         pad = zone.finished_pad_lbas
@@ -411,14 +574,16 @@ class ZnsDevice:
         )
         self._mgmt_busy.add(zone.index)
         try:
-            yield from self._mgmt_work(work, self.profile.reset_chunk_ns)
+            yield from self._mgmt_work(work, self.profile.reset_chunk_ns,
+                                       "reset", cid)
         finally:
             self._mgmt_busy.discard(zone.index)
         self.zones.reset(zone)
         self._drop_residual(zone.index)
-        self._complete(done, command, Status.SUCCESS)
+        self._complete(done, command, Status.SUCCESS, cid=cid)
 
-    def _mgmt_work(self, work_ns: int, chunk_ns: int) -> Generator:
+    def _mgmt_work(self, work_ns: int, chunk_ns: int, name: str = "mgmt",
+                   cid: int = 0) -> Generator:
         """Run firmware work at lower priority than I/O mapping updates.
 
         Holds the firmware engine for the whole operation (management
@@ -426,10 +591,13 @@ class ZnsDevice:
         mapping-update debt that I/O completions generated meanwhile —
         I/O preempts management, never the other way around.
         """
+        queued_at = self.sim.now
         req = self.firmware.request(PRIO_MGMT)
         yield req
+        granted_at = self.sim.now
         try:
             done_work = 0
+            debt_paid = 0
             debt_mark = self._fw_debt_ns
             while done_work < work_ns:
                 step = min(chunk_ns, work_ns - done_work)
@@ -437,5 +605,13 @@ class ZnsDevice:
                 debt_mark = self._fw_debt_ns
                 yield self.sim.timeout(step + new_debt)
                 done_work += step
+                debt_paid += new_debt
         finally:
             self.firmware.release(req)
+            if self.tracer.enabled:
+                if granted_at > queued_at:
+                    self.tracer.span("queue", "firmware.wait", queued_at,
+                                     granted_at, track="firmware", cid=cid)
+                self.tracer.span("firmware", f"{name}.work", granted_at,
+                                 self.sim.now, track="firmware", cid=cid,
+                                 io_debt_ns=debt_paid)

@@ -24,6 +24,8 @@ Semantics follow the NVMe ZNS spec as the paper describes it:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..hostif.status import Status
 from .spec import ACTIVE_STATES, OPEN_STATES, ZoneState
 from .zone import Zone
@@ -53,6 +55,11 @@ class ZoneManager:
         self.max_active = max_active
         self._open_count = 0
         self._active_count = 0
+        #: Optional observer called as ``on_transition(zone, old, new)``
+        #: after every state change. Pure observation: the device wires
+        #: this to its tracer/metrics; the state machine itself stays
+        #: simulator-free and the hook must not mutate zone state.
+        self.on_transition: Callable[[Zone, ZoneState, ZoneState], None] | None = None
 
     # -- introspection -------------------------------------------------------
     @property
@@ -102,6 +109,8 @@ class ZoneManager:
         self._open_count += (new_state in OPEN_STATES) - (old in OPEN_STATES)
         self._active_count += (new_state in ACTIVE_STATES) - (old in ACTIVE_STATES)
         zone.state = new_state
+        if self.on_transition is not None:
+            self.on_transition(zone, old, new_state)
 
     # -- I/O admission ---------------------------------------------------------
     def admit_write(self, zone: Zone, slba: int, nlb: int) -> tuple[Status, bool]:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps import StripedZoneArray, ZoneFs
-from repro.hostif import StatusError
 from repro.stacks import SpdkStack
 from repro.zns import ZoneState
 

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -32,3 +34,32 @@ class TestCli:
     def test_scale_validation(self):
         with pytest.raises(ValueError):
             main(["--scale", "-1", "run", "fig2a"])
+
+
+class TestObservabilityCli:
+    def test_run_with_trace_and_metrics(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        perfetto = tmp_path / "trace.json"
+        assert main(["--fast", "run", "fig2b", "--trace", str(jsonl),
+                     "--trace-perfetto", str(perfetto), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "[trace]" in out and "[metrics]" in out
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line)["ts"] >= 0 for line in lines)
+        payload = json.loads(perfetto.read_text())
+        assert payload["traceEvents"]
+
+    def test_profile_self(self, capsys):
+        assert main(["profile", "--self"]) == 0
+        out = capsys.readouterr().out
+        assert "per-layer attribution" in out and "nand" in out
+
+    def test_profile_experiment(self, capsys):
+        assert main(["--fast", "profile", "fig2b"]) == 0
+        out = capsys.readouterr().out
+        assert "[profile] experiment fig2b" in out
+        assert "per-opcode latency" in out
+
+    def test_profile_without_target_errors(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])

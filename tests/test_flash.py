@@ -126,7 +126,7 @@ class TestBackend:
 
     def test_programs_to_same_die_serialize(self):
         sim, backend = self.make()
-        d1 = sim.process(backend.program_page(0))
+        sim.process(backend.program_page(0))
         d2 = sim.process(backend.program_page(0))
         sim.run(until=d2)
         xfer = backend.transfer_ns(16 * KIB)
@@ -139,8 +139,8 @@ class TestBackend:
         geo = backend.geometry
         die_a = geo.die_index(0, 0)
         die_b = geo.die_index(1, 0)
-        d1 = sim.process(backend.program_page(die_a))
-        d2 = sim.process(backend.program_page(die_b))
+        sim.process(backend.program_page(die_a))
+        sim.process(backend.program_page(die_b))
         sim.run()
         xfer = backend.transfer_ns(16 * KIB)
         assert sim.now == xfer + us(400)

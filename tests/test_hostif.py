@@ -137,7 +137,7 @@ class TestQueuePair:
         t_done = []
 
         def issuer():
-            cpl = yield from qp.submit(
+            yield from qp.submit(
                 Command(Opcode.APPEND, slba=zone.zslba, nlb=1))
             t_done.append(sim.now)
 

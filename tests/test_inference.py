@@ -6,7 +6,6 @@ from repro.flash import FlashGeometry
 from repro.sim import Simulator, ms
 from repro.zns import ZnsDevice, ZoneStriping
 from repro.zns.inference import infer_zone_groups
-from repro.zns.profiles import zn540
 
 from .util import quiet_profile
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hostif import Opcode, Status, ZoneAction
+from repro.hostif import Status, ZoneAction
 from repro.sim import us
 from repro.stacks import IoUringStack, SpdkStack, UnsupportedOperation
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hostif import Opcode
 from repro.sim import Simulator, ms, sec, us
 from repro.stacks import IoUringStack, SpdkStack
 from repro.workload import (
