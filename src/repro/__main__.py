@@ -62,9 +62,21 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = sub.add_parser("run", help="run experiments, print tables")
     run_parser.add_argument("ids", nargs="*",
                             help="experiment ids (default: all; see 'list')")
+    run_parser.add_argument("--jobs", "-j", type=int, default=1,
+                            help="worker processes for the sweep points "
+                                 "(default 1 = in-process; output is "
+                                 "byte-identical at any job count)")
+    run_parser.add_argument("--cache", metavar="DIR", default=".repro_cache",
+                            help="point-result cache directory (default "
+                                 "%(default)s); doubles as a checkpoint "
+                                 "for interrupted sweeps")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="recompute every point; neither read nor "
+                                 "write the cache")
     run_parser.add_argument("--trace", metavar="PATH",
                             help="record command-lifecycle spans to a "
-                                 "JSON-lines file (ns timestamps)")
+                                 "JSON-lines file (ns timestamps); forces "
+                                 "a serial in-process run")
     run_parser.add_argument("--trace-perfetto", metavar="PATH",
                             help="also export the Chrome trace_event JSON "
                                  "(loadable in Perfetto / chrome://tracing)")
@@ -81,6 +93,11 @@ def main(argv: list[str] | None = None) -> int:
                                      "instead of an experiment")
     profile_parser.add_argument("--trace", metavar="PATH",
                                 help="also write the JSON-lines trace")
+    profile_parser.add_argument("--points", action="store_true",
+                                help="report per-point wall-clock instead "
+                                     "of the simulated-time breakdown")
+    profile_parser.add_argument("--jobs", "-j", type=int, default=1,
+                                help="worker processes for --points")
     obs_parser = sub.add_parser(
         "observations", help="evaluate the 13 observations (Table I)")
     obs_parser.add_argument(
@@ -105,7 +122,24 @@ def main(argv: list[str] | None = None) -> int:
         metrics = MetricsRegistry() if args.metrics else None
         if tracer is not None or metrics is not None:
             config = dataclasses.replace(config, tracer=tracer, metrics=metrics)
-        run_experiments(args.ids or None, config, verbose=True)
+        if tracer is not None:
+            # Tracing records one in-process timeline; spans cannot be
+            # merged across workers, so traced runs stay serial.
+            if args.jobs != 1:
+                print("[exec] --trace forces a serial in-process run; "
+                      "ignoring --jobs", file=sys.stderr)
+            run_experiments(args.ids or None, config, verbose=True)
+        else:
+            from .exec import execute_experiments
+
+            results, _report = execute_experiments(
+                args.ids or None, config, jobs=args.jobs,
+                cache_dir=None if args.no_cache else args.cache,
+                progress=lambda message: print(message, file=sys.stderr),
+            )
+            for result in results.values():
+                print(result.table())
+                print()
         if tracer is not None:
             if args.trace:
                 count = tracer.write_jsonl(args.trace)
@@ -122,6 +156,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "profile":
         from .obs.profile import profile_experiment, run_self_profile
 
+        if args.points:
+            if not args.experiment:
+                profile_parser.error("--points needs an experiment id")
+            from .exec import execute_experiments
+
+            config = _config_from_args(args)
+            _results, report = execute_experiments(
+                [args.experiment], config, jobs=args.jobs,
+                progress=lambda message: print(message, file=sys.stderr),
+            )
+            print(f"[profile] experiment {args.experiment} (wall clock)")
+            print(report.table())
+            return 0
         if args.self_profile:
             tracer, breakdown = run_self_profile()
             print("[profile] built-in smoke workload (zn540_small)")

@@ -40,8 +40,17 @@ from ...workload.runner import JobRunner
 from ...zns.profiles import sn640, zn540
 from ..results import ExperimentResult
 from .common import KIB, MIB, ExperimentConfig, build_device
+from .points import ExperimentPlan, run_via_points
 
-__all__ = ["run_fig6", "run_fig6_rate_sweep", "run_obs11_read_tail", "conv_experiment_profile"]
+__all__ = [
+    "run_fig6",
+    "run_fig6_rate_sweep",
+    "run_obs11_read_tail",
+    "conv_experiment_profile",
+    "FIG6_PLAN",
+    "FIG6_RATES_PLAN",
+    "OBS11_PLAN",
+]
 
 WRITE_THREADS = 4
 WRITE_QD = 8
@@ -147,42 +156,96 @@ def _stability(values: np.ndarray) -> float:
     return float(np.std(values) / np.mean(values))
 
 
-def run_fig6(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Write/read throughput over time: ZNS vs conventional (Fig. 6)."""
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig6",
-        title="Throughput under write flood + concurrent reads (ZNS vs NVMe)",
-        columns=["device", "metric", "mean_mibs", "cov", "min_mibs", "max_mibs"],
-        notes=[
+def _fig6_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "Throughput under write flood + concurrent reads (ZNS vs NVMe)",
+        "columns": ["device", "metric", "mean_mibs", "cov", "min_mibs", "max_mibs"],
+        "notes": [
             "paper runs 20 wall-clock minutes; we run a shorter simulated "
             "window at identical steady-state conditions (DESIGN.md §7)",
         ],
-    )
-    for kind in ("zns", "conv"):
-        write_res, read_res = _run_device(config, kind, with_reader=True)
-        # Drop the first (start-up) and last (partially covered) buckets
-        # from the stability statistics.
-        wseries = write_res.timeseries.bandwidth_values()[1:-1]
-        rseries = read_res.timeseries.bandwidth_values()[1:-1]
-        result.series[f"{kind}-write"] = write_res.timeseries.bandwidth_series()
-        result.series[f"{kind}-read"] = read_res.timeseries.bandwidth_series()
-        result.add_row(
-            device=kind, metric="write",
-            mean_mibs=float(np.mean(wseries)) if len(wseries) else 0.0,
-            cov=_stability(wseries),
-            min_mibs=float(np.min(wseries)) if len(wseries) else 0.0,
-            max_mibs=float(np.max(wseries)) if len(wseries) else 0.0,
-        )
-        result.add_row(
-            device=kind, metric="read",
-            mean_mibs=float(np.mean(rseries)) if len(rseries) else 0.0,
-            cov=_stability(rseries),
-            min_mibs=float(np.min(rseries)) if len(rseries) else 0.0,
-            max_mibs=float(np.max(rseries)) if len(rseries) else 0.0,
-        )
+    }
 
-    return result
+
+def _fig6_plan(config: ExperimentConfig) -> list:
+    return [{"kind": kind} for kind in ("zns", "conv")]
+
+
+def _fig6_point(config: ExperimentConfig, params: dict) -> dict:
+    kind = params["kind"]
+    write_res, read_res = _run_device(config, kind, with_reader=True)
+    # Drop the first (start-up) and last (partially covered) buckets
+    # from the stability statistics.
+    wseries = write_res.timeseries.bandwidth_values()[1:-1]
+    rseries = read_res.timeseries.bandwidth_values()[1:-1]
+    return {
+        "rows": [
+            {
+                "device": kind, "metric": "write",
+                "mean_mibs": float(np.mean(wseries)) if len(wseries) else 0.0,
+                "cov": _stability(wseries),
+                "min_mibs": float(np.min(wseries)) if len(wseries) else 0.0,
+                "max_mibs": float(np.max(wseries)) if len(wseries) else 0.0,
+            },
+            {
+                "device": kind, "metric": "read",
+                "mean_mibs": float(np.mean(rseries)) if len(rseries) else 0.0,
+                "cov": _stability(rseries),
+                "min_mibs": float(np.min(rseries)) if len(rseries) else 0.0,
+                "max_mibs": float(np.max(rseries)) if len(rseries) else 0.0,
+            },
+        ],
+        "series": [
+            [f"{kind}-write",
+             [list(p) for p in write_res.timeseries.bandwidth_series()]],
+            [f"{kind}-read",
+             [list(p) for p in read_res.timeseries.bandwidth_series()]],
+        ],
+    }
+
+
+FIG6_PLAN = ExperimentPlan("fig6", _fig6_plan, _fig6_point, _fig6_describe)
+
+
+def run_fig6(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Write/read throughput over time: ZNS vs conventional (Fig. 6)."""
+    return run_via_points(FIG6_PLAN, config)
+
+
+def _fig6_rates_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "Write-throughput stability vs rate limit (ZNS vs NVMe)",
+        "columns": ["device", "rate_limit_mibs", "write_mean_mibs", "write_cov"],
+        "notes": ["paper: ZNS stable at every rate; conventional fluctuates"],
+    }
+
+
+def _fig6_rates_plan(config: ExperimentConfig) -> list:
+    return [
+        {"kind": kind, "rate_mibs": rate_mibs}
+        for kind in ("zns", "conv")
+        for rate_mibs in (250, 750, 1_155)
+    ]
+
+
+def _fig6_rates_point(config: ExperimentConfig, params: dict) -> dict:
+    kind, rate_mibs = params["kind"], params["rate_mibs"]
+    write_res, _ = _run_device(
+        config, kind, with_reader=True,
+        rate_limit_bps=rate_mibs * MIB,
+    )
+    values = write_res.timeseries.bandwidth_values()[1:-1]
+    return {"rows": [{
+        "device": kind,
+        "rate_limit_mibs": rate_mibs,
+        "write_mean_mibs": float(np.mean(values)) if len(values) else 0.0,
+        "write_cov": _stability(values),
+    }]}
+
+
+FIG6_RATES_PLAN = ExperimentPlan(
+    "fig6rates", _fig6_rates_plan, _fig6_rates_point, _fig6_rates_describe
+)
 
 
 def run_fig6_rate_sweep(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -193,47 +256,37 @@ def run_fig6_rate_sweep(config: ExperimentConfig | None = None) -> ExperimentRes
     while the conventional device fluctuates whenever concurrent writes
     run. We sweep the same fio-style rate caps on both devices.
     """
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig6rates",
-        title="Write-throughput stability vs rate limit (ZNS vs NVMe)",
-        columns=["device", "rate_limit_mibs", "write_mean_mibs", "write_cov"],
-        notes=["paper: ZNS stable at every rate; conventional fluctuates"],
-    )
-    for kind in ("zns", "conv"):
-        for rate_mibs in (250, 750, 1_155):
-            write_res, _ = _run_device(
-                config, kind, with_reader=True,
-                rate_limit_bps=rate_mibs * MIB,
-            )
-            values = write_res.timeseries.bandwidth_values()[1:-1]
-            result.add_row(
-                device=kind,
-                rate_limit_mibs=rate_mibs,
-                write_mean_mibs=float(np.mean(values)) if len(values) else 0.0,
-                write_cov=_stability(values),
-            )
-    return result
+    return run_via_points(FIG6_RATES_PLAN, config)
 
 
-def run_obs11_read_tail(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Read p95: idle vs under the unthrottled write flood (QD1 reads)."""
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="obs11",
-        title="Random-read p95 latency, idle vs concurrent write flood",
-        columns=["device", "condition", "read_p95", "unit"],
-    )
-    for kind in ("zns", "conv"):
+def _obs11_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "Random-read p95 latency, idle vs concurrent write flood",
+        "columns": ["device", "condition", "read_p95", "unit"],
+    }
+
+
+def _obs11_plan(config: ExperimentConfig) -> list:
+    return [
+        {"kind": kind, "condition": condition}
+        for kind in ("zns", "conv")
+        for condition in ("idle", "write-flood")
+    ]
+
+
+def _obs11_point(config: ExperimentConfig, params: dict) -> dict:
+    kind, condition = params["kind"], params["condition"]
+    if condition == "idle":
         # Idle reads (QD32, as in the paper's read-only measurement).
         _, idle_res = _run_device(
             replace(config, interference_runtime_ns=ms(40)),
             kind, with_reader=True, reader_qd=32, with_writer=False,
         )
-        result.add_row(
-            device=kind, condition="idle",
-            read_p95=idle_res.latency.percentile_us(95), unit="us",
-        )
+        row = {
+            "device": kind, "condition": "idle",
+            "read_p95": idle_res.latency.percentile_us(95), "unit": "us",
+        }
+    else:
         # Reads at QD1 under the full-rate write flood. QD1 yields only a
         # handful of completions per second on a flooded device, so run
         # this point longer for a usable tail estimate.
@@ -241,8 +294,16 @@ def run_obs11_read_tail(config: ExperimentConfig | None = None) -> ExperimentRes
             config, interference_runtime_ns=2 * config.interference_runtime_ns
         )
         _, loaded_res = _run_device(loaded_cfg, kind, with_reader=True, reader_qd=1)
-        result.add_row(
-            device=kind, condition="write-flood",
-            read_p95=loaded_res.latency.percentile_ns(95) / 1e6, unit="ms",
-        )
-    return result
+        row = {
+            "device": kind, "condition": "write-flood",
+            "read_p95": loaded_res.latency.percentile_ns(95) / 1e6, "unit": "ms",
+        }
+    return {"rows": [row]}
+
+
+OBS11_PLAN = ExperimentPlan("obs11", _obs11_plan, _obs11_point, _obs11_describe)
+
+
+def run_obs11_read_tail(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Read p95: idle vs under the unthrottled write flood (QD1 reads)."""
+    return run_via_points(OBS11_PLAN, config)

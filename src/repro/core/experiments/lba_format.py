@@ -16,11 +16,15 @@ from ...hostif.namespace import LBA_4K, LBA_512, LbaFormat
 from ...workload.job import IoKind, JobSpec
 from ..results import ExperimentResult
 from .common import KIB, STACKS, ExperimentConfig, build_device, measure_job
+from .points import ExperimentPlan, run_via_points
 
-__all__ = ["run_fig2a", "run_fig2b"]
+__all__ = ["run_fig2a", "run_fig2b", "FIG2A_PLAN", "FIG2B_PLAN"]
 
 #: io_uring cannot issue appends (§III-A); appends are SPDK-only.
 _APPEND_STACKS = ("spdk",)
+
+#: JSON-able point params carry the LBA size in bytes.
+_FORMATS = {LBA_512.block_size: LBA_512, LBA_4K.block_size: LBA_4K}
 
 
 def _measure_point(
@@ -46,55 +50,74 @@ def _measure_point(
     return result.latency.mean_us
 
 
+def _combo_plan(config: ExperimentConfig) -> list:
+    """(format, stack, op) grid shared by Fig. 2a and Fig. 2b."""
+    return [
+        {"lba_bytes": lba_format.block_size, "stack": stack_name, "op": op}
+        for lba_format in (LBA_512, LBA_4K)
+        for stack_name in STACKS
+        for op in (IoKind.WRITE, IoKind.APPEND)
+        if not (op == IoKind.APPEND and stack_name not in _APPEND_STACKS)
+    ]
+
+
+#: The best request sizes from Fig. 3 (used by Fig. 2b).
+_BEST_SIZE = {IoKind.WRITE: 4 * KIB, IoKind.APPEND: 8 * KIB}
+
+
+def _fig2a_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "I/O latency of append/write, request size = LBA size (QD=1)",
+        "columns": ["lba_format", "stack", "op", "request_bytes", "latency_us"],
+        "notes": ["appends are SPDK-only: fio/io_uring cannot issue them (§III-A)"],
+    }
+
+
+def _fig2a_point(config: ExperimentConfig, params: dict) -> dict:
+    lba_format = _FORMATS[params["lba_bytes"]]
+    latency = _measure_point(
+        config, lba_format, params["stack"], params["op"], lba_format.block_size
+    )
+    return {"rows": [{
+        "lba_format": str(lba_format),
+        "stack": params["stack"],
+        "op": params["op"],
+        "request_bytes": lba_format.block_size,
+        "latency_us": latency,
+    }]}
+
+
+def _fig2b_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "I/O latency at optimal request sizes (4 KiB write / 8 KiB append, QD=1)",
+        "columns": ["lba_format", "stack", "op", "request_bytes", "latency_us"],
+    }
+
+
+def _fig2b_point(config: ExperimentConfig, params: dict) -> dict:
+    lba_format = _FORMATS[params["lba_bytes"]]
+    request_bytes = _BEST_SIZE[params["op"]]
+    latency = _measure_point(
+        config, lba_format, params["stack"], params["op"], request_bytes
+    )
+    return {"rows": [{
+        "lba_format": str(lba_format),
+        "stack": params["stack"],
+        "op": params["op"],
+        "request_bytes": request_bytes,
+        "latency_us": latency,
+    }]}
+
+
+FIG2A_PLAN = ExperimentPlan("fig2a", _combo_plan, _fig2a_point, _fig2a_describe)
+FIG2B_PLAN = ExperimentPlan("fig2b", _combo_plan, _fig2b_point, _fig2b_describe)
+
+
 def run_fig2a(config: ExperimentConfig | None = None) -> ExperimentResult:
     """Latency with request size = LBA-format block size (Fig. 2a)."""
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig2a",
-        title="I/O latency of append/write, request size = LBA size (QD=1)",
-        columns=["lba_format", "stack", "op", "request_bytes", "latency_us"],
-        notes=["appends are SPDK-only: fio/io_uring cannot issue them (§III-A)"],
-    )
-    for lba_format in (LBA_512, LBA_4K):
-        for stack_name in STACKS:
-            for op in (IoKind.WRITE, IoKind.APPEND):
-                if op == IoKind.APPEND and stack_name not in _APPEND_STACKS:
-                    continue
-                latency = _measure_point(
-                    config, lba_format, stack_name, op, lba_format.block_size
-                )
-                result.add_row(
-                    lba_format=str(lba_format),
-                    stack=stack_name,
-                    op=op,
-                    request_bytes=lba_format.block_size,
-                    latency_us=latency,
-                )
-    return result
+    return run_via_points(FIG2A_PLAN, config)
 
 
 def run_fig2b(config: ExperimentConfig | None = None) -> ExperimentResult:
     """Latency at the best request sizes: 4 KiB write, 8 KiB append."""
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig2b",
-        title="I/O latency at optimal request sizes (4 KiB write / 8 KiB append, QD=1)",
-        columns=["lba_format", "stack", "op", "request_bytes", "latency_us"],
-    )
-    best_size = {IoKind.WRITE: 4 * KIB, IoKind.APPEND: 8 * KIB}
-    for lba_format in (LBA_512, LBA_4K):
-        for stack_name in STACKS:
-            for op in (IoKind.WRITE, IoKind.APPEND):
-                if op == IoKind.APPEND and stack_name not in _APPEND_STACKS:
-                    continue
-                latency = _measure_point(
-                    config, lba_format, stack_name, op, best_size[op]
-                )
-                result.add_row(
-                    lba_format=str(lba_format),
-                    stack=stack_name,
-                    op=op,
-                    request_bytes=best_size[op],
-                    latency_us=latency,
-                )
-    return result
+    return run_via_points(FIG2B_PLAN, config)

@@ -1,0 +1,201 @@
+"""Point-level decomposition of the paper experiments.
+
+Every experiment is a sweep over independent *points* (one measurement
+configuration each — a fresh simulator, deterministically seeded from
+the :class:`ExperimentConfig`). This module gives that structure a
+first-class API so the execution engine (:mod:`repro.exec`) can fan
+points out over worker processes and cache them individually:
+
+* :class:`ExperimentPlan` — an experiment's decomposition:
+  ``plan(config)`` lists the point parameter dicts, ``point(config,
+  params)`` runs one point and returns a JSON-able payload, and
+  ``describe(config)`` gives the table skeleton the payloads are
+  assembled into.
+* :func:`assemble` — folds point payloads (in plan order) back into the
+  :class:`~repro.core.results.ExperimentResult` the serial drivers
+  always produced.
+* :func:`run_via_points` — the serial driver: plan → points → assemble.
+  The public ``run_<experiment>`` functions are now thin wrappers over
+  this, so the serial path and the parallel path execute *exactly* the
+  same per-point code and emit byte-identical tables.
+
+Experiments whose reps share one simulator (obs9, fig5a, fig5b — the
+zone state-machine sweeps reuse a device across occupancy levels) are
+registered as a single point via :func:`single_point_plan`; they still
+parallelize across experiments and benefit from caching.
+
+Payload protocol (everything JSON-able, so payloads can be cached and
+shipped across process boundaries losslessly):
+
+``{"rows": [...], "series": [[key, [[x, y], ...]], ...]}``
+    rows/series fragments appended in plan order, or
+``{"result": <serialized ExperimentResult>}``
+    a whole-experiment payload from a single-point plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..results import ExperimentResult
+from .common import ExperimentConfig
+
+__all__ = [
+    "ExperimentPlan",
+    "assemble",
+    "deserialize_result",
+    "experiment_plans",
+    "point_label",
+    "run_via_points",
+    "serialize_result",
+    "single_point_plan",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """One experiment's decomposition into independent sweep points."""
+
+    experiment_id: str
+    #: config → ordered list of JSON-able point parameter dicts.
+    plan: Callable[[ExperimentConfig], list]
+    #: (config, params) → JSON-able payload for one point.
+    point: Callable[[ExperimentConfig, dict], dict]
+    #: config → ExperimentResult skeleton fields (id/title/columns/
+    #: notes/meta). ``None`` marks a single-point plan whose payload
+    #: carries the whole serialized result.
+    describe: Optional[Callable[[ExperimentConfig], dict]] = None
+
+
+def point_label(params: dict) -> str:
+    """Human-readable identity of one point (profiles, error reports)."""
+    if not params:
+        return "(whole experiment)"
+    return ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def serialize_result(result: ExperimentResult) -> dict:
+    """A JSON-able image of an ExperimentResult (exact round-trip)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [dict(row) for row in result.rows],
+        "series": {k: [list(p) for p in v] for k, v in result.series.items()},
+        "notes": list(result.notes),
+        "meta": dict(result.meta),
+    }
+
+
+def deserialize_result(data: dict) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=data["experiment_id"],
+        title=data["title"],
+        columns=list(data["columns"]),
+        rows=[dict(row) for row in data["rows"]],
+        series={k: [tuple(p) for p in v] for k, v in data["series"].items()},
+        notes=list(data["notes"]),
+        meta=dict(data["meta"]),
+    )
+
+
+def assemble(
+    plan: ExperimentPlan, config: ExperimentConfig, payloads: list[dict]
+) -> ExperimentResult:
+    """Fold point payloads (in plan order) into the final result."""
+    if plan.describe is None:
+        if len(payloads) != 1:
+            raise ValueError(
+                f"single-point experiment {plan.experiment_id!r} got "
+                f"{len(payloads)} payloads"
+            )
+        return deserialize_result(payloads[0]["result"])
+    skeleton = plan.describe(config)
+    result = ExperimentResult(
+        experiment_id=skeleton.get("experiment_id", plan.experiment_id),
+        title=skeleton["title"],
+        columns=list(skeleton["columns"]),
+        notes=list(skeleton.get("notes", [])),
+        meta=dict(skeleton.get("meta", {})),
+    )
+    for payload in payloads:
+        for row in payload.get("rows", []):
+            result.rows.append(dict(row))
+        for key, pairs in payload.get("series", []):
+            result.series.setdefault(key, []).extend(
+                tuple(pair) for pair in pairs
+            )
+    return result
+
+
+def run_via_points(
+    plan: ExperimentPlan,
+    config: Optional[ExperimentConfig] = None,
+    params_list: Optional[list] = None,
+) -> ExperimentResult:
+    """Serial reference path: run every point in order and assemble."""
+    config = config or ExperimentConfig()
+    if params_list is None:
+        params_list = plan.plan(config)
+    return assemble(plan, config, [plan.point(config, p) for p in params_list])
+
+
+def single_point_plan(
+    experiment_id: str, runner: Callable[[ExperimentConfig], ExperimentResult]
+) -> ExperimentPlan:
+    """Wrap a monolithic driver as a one-point plan (stateful sweeps)."""
+
+    def _plan(config: ExperimentConfig) -> list:
+        return [{}]
+
+    def _point(config: ExperimentConfig, params: dict) -> dict:
+        return {"result": serialize_result(runner(config))}
+
+    return ExperimentPlan(experiment_id, _plan, _point, None)
+
+
+def experiment_plans() -> dict[str, ExperimentPlan]:
+    """Experiment id → plan, in paper order (lazy imports, like the
+    legacy runner registry in :mod:`repro.core.report`)."""
+    from .ablations import (
+        ABLATION_APPEND_COST_PLAN,
+        ABLATION_BUFFER_PLAN,
+        ABLATION_GC_PRIORITY_PLAN,
+        ABLATION_GEOMETRY_PLAN,
+        ABLATION_ZONE_SIZE_PLAN,
+    )
+    from .io_interference import FIG6_PLAN, FIG6_RATES_PLAN, OBS11_PLAN
+    from .lba_format import FIG2A_PLAN, FIG2B_PLAN
+    from .qd_latency import FIG8_PLAN
+    from .request_size import FIG3_PLAN
+    from .reset_interference import FIG7_PLAN
+    from .scalability import FIG4A_PLAN, FIG4B_PLAN, FIG4C_PLAN
+    from .state_machine import (
+        run_fig5a_reset,
+        run_fig5b_finish,
+        run_obs9_open_close,
+    )
+
+    plans = [
+        FIG2A_PLAN,
+        FIG2B_PLAN,
+        FIG3_PLAN,
+        FIG4A_PLAN,
+        FIG4B_PLAN,
+        FIG4C_PLAN,
+        single_point_plan("obs9", run_obs9_open_close),
+        single_point_plan("fig5a", run_fig5a_reset),
+        single_point_plan("fig5b", run_fig5b_finish),
+        FIG6_PLAN,
+        OBS11_PLAN,
+        FIG7_PLAN,
+        FIG8_PLAN,
+        FIG6_RATES_PLAN,
+        ABLATION_BUFFER_PLAN,
+        ABLATION_APPEND_COST_PLAN,
+        ABLATION_GC_PRIORITY_PLAN,
+        ABLATION_GEOMETRY_PLAN,
+        ABLATION_ZONE_SIZE_PLAN,
+    ]
+    return {plan.experiment_id: plan for plan in plans}

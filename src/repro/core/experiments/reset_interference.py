@@ -22,8 +22,9 @@ from ...workload.stats import LatencyStats
 from ...stacks.spdk import SpdkStack
 from ..results import ExperimentResult
 from .common import KIB, ExperimentConfig, build_device
+from .points import ExperimentPlan, run_via_points
 
-__all__ = ["run_fig7", "CONCURRENT_OPS"]
+__all__ = ["run_fig7", "CONCURRENT_OPS", "FIG7_PLAN"]
 
 CONCURRENT_OPS = ("none", "read", "write", "append")
 
@@ -78,28 +79,39 @@ def _one_config(config: ExperimentConfig, concurrent_op: str):
     return reset_stats, io_result
 
 
+def _fig7_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "p95 reset latency vs concurrent operation (full zones)",
+        "columns": ["concurrent_op", "reset_p95_ms", "reset_mean_ms",
+                    "io_mean_latency_us", "resets"],
+        "notes": ["read thread runs at QD32 (paper leaves the read QD unstated)"],
+    }
+
+
+def _fig7_plan(config: ExperimentConfig) -> list:
+    return [{"concurrent_op": op} for op in CONCURRENT_OPS]
+
+
+def _fig7_point(config: ExperimentConfig, params: dict) -> dict:
+    op = params["concurrent_op"]
+    reset_stats, io_result = _one_config(config, op)
+    io_lat = (
+        io_result.latency.mean_us
+        if io_result is not None and io_result.latency.count
+        else None
+    )
+    return {"rows": [{
+        "concurrent_op": op,
+        "reset_p95_ms": reset_stats.percentile_ns(95) / 1e6,
+        "reset_mean_ms": reset_stats.mean_ns / 1e6,
+        "io_mean_latency_us": io_lat if io_lat is not None else "-",
+        "resets": reset_stats.count,
+    }]}
+
+
+FIG7_PLAN = ExperimentPlan("fig7", _fig7_plan, _fig7_point, _fig7_describe)
+
+
 def run_fig7(config: ExperimentConfig | None = None) -> ExperimentResult:
     """p95 reset latency under concurrent I/O of each type."""
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig7",
-        title="p95 reset latency vs concurrent operation (full zones)",
-        columns=["concurrent_op", "reset_p95_ms", "reset_mean_ms",
-                 "io_mean_latency_us", "resets"],
-        notes=["read thread runs at QD32 (paper leaves the read QD unstated)"],
-    )
-    for op in CONCURRENT_OPS:
-        reset_stats, io_result = _one_config(config, op)
-        io_lat = (
-            io_result.latency.mean_us
-            if io_result is not None and io_result.latency.count
-            else None
-        )
-        result.add_row(
-            concurrent_op=op,
-            reset_p95_ms=reset_stats.percentile_ns(95) / 1e6,
-            reset_mean_ms=reset_stats.mean_ns / 1e6,
-            io_mean_latency_us=io_lat if io_lat is not None else "-",
-            resets=reset_stats.count,
-        )
-    return result
+    return run_via_points(FIG7_PLAN, config)

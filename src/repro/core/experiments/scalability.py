@@ -16,6 +16,7 @@ from ...sim.engine import ms
 from ...workload.job import IoKind, JobSpec, Pattern
 from ..results import ExperimentResult
 from .common import KIB, ExperimentConfig, build_device, measure_job
+from .points import ExperimentPlan, run_via_points
 
 __all__ = [
     "run_fig4a",
@@ -24,6 +25,9 @@ __all__ = [
     "INTRA_LEVELS",
     "INTER_LEVELS",
     "READ_LEVELS",
+    "FIG4A_PLAN",
+    "FIG4B_PLAN",
+    "FIG4C_PLAN",
 ]
 
 INTRA_LEVELS = (1, 2, 4, 8, 16, 32)
@@ -89,103 +93,139 @@ def _inter_point(config: ExperimentConfig, op: str, zones: int,
     return measure_job(device, "spdk", job)
 
 
-def run_fig4a(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Intra-zone scalability in KIOPS, 4 KiB requests."""
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig4a",
-        title="Intra-zone scalability, 4 KiB (1 zone, variable QD)",
-        columns=["op", "qd", "kiops", "mean_latency_us"],
-        notes=[
+def _fig4a_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "Intra-zone scalability, 4 KiB (1 zone, variable QD)",
+        "columns": ["op", "qd", "kiops", "mean_latency_us"],
+        "notes": [
             "write = io_uring + mq-deadline (merging); read/append = SPDK",
         ],
-    )
-    for op, levels in (
-        (IoKind.READ, READ_LEVELS),
-        (IoKind.WRITE, INTRA_LEVELS),
-        (IoKind.APPEND, INTRA_LEVELS),
-    ):
-        series = []
-        for qd in levels:
-            # mq-deadline merged writes at QD >= 8 overdrive the flash
-            # program rate: warm-start the buffer for steady state.
-            warm = op == IoKind.WRITE and qd >= 8
-            runtime = ms(120) if warm else None
-            ramp = ms(25) if warm else None
-            job_result = _intra_point(config, op, qd, runtime_ns=runtime,
-                                      ramp_ns=ramp, warm_start=warm)
-            result.add_row(
-                op=op, qd=qd, kiops=job_result.kiops,
-                mean_latency_us=job_result.latency.mean_us,
-            )
-            series.append((qd, job_result.kiops))
-        result.series[op] = series
-    return result
+    }
 
 
-def run_fig4b(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Inter-zone scalability in KIOPS, 4 KiB requests, QD1 per zone."""
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig4b",
-        title="Inter-zone scalability, 4 KiB (QD1, variable zones, SPDK)",
-        columns=["op", "zones", "kiops", "mean_latency_us"],
-        notes=["zone count capped at 14 = the ZN540 max-open-zones limit"],
-    )
-    for op in (IoKind.READ, IoKind.WRITE, IoKind.APPEND):
-        series = []
-        for zones in INTER_LEVELS:
-            job_result = _inter_point(config, op, zones)
-            result.add_row(
-                op=op, zones=zones, kiops=job_result.kiops,
-                mean_latency_us=job_result.latency.mean_us,
-            )
-            series.append((zones, job_result.kiops))
-        result.series[op] = series
-    return result
+def _fig4a_plan(config: ExperimentConfig) -> list:
+    return [
+        {"op": op, "qd": qd}
+        for op, levels in (
+            (IoKind.READ, READ_LEVELS),
+            (IoKind.WRITE, INTRA_LEVELS),
+            (IoKind.APPEND, INTRA_LEVELS),
+        )
+        for qd in levels
+    ]
 
 
-def run_fig4c(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Bandwidth: intra-zone append vs inter-zone write at 4/8/16 KiB."""
-    config = config or ExperimentConfig()
-    result = ExperimentResult(
-        experiment_id="fig4c",
-        title="Bandwidth vs concurrency (intra-zone append / inter-zone write)",
-        columns=["mode", "request_kib", "concurrency", "bandwidth_mibs"],
-        notes=[
+def _fig4a_point(config: ExperimentConfig, params: dict) -> dict:
+    op, qd = params["op"], params["qd"]
+    # mq-deadline merged writes at QD >= 8 overdrive the flash
+    # program rate: warm-start the buffer for steady state.
+    warm = op == IoKind.WRITE and qd >= 8
+    runtime = ms(120) if warm else None
+    ramp = ms(25) if warm else None
+    job_result = _intra_point(config, op, qd, runtime_ns=runtime,
+                              ramp_ns=ramp, warm_start=warm)
+    return {
+        "rows": [{
+            "op": op, "qd": qd, "kiops": job_result.kiops,
+            "mean_latency_us": job_result.latency.mean_us,
+        }],
+        "series": [[op, [[qd, job_result.kiops]]]],
+    }
+
+
+def _fig4b_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "Inter-zone scalability, 4 KiB (QD1, variable zones, SPDK)",
+        "columns": ["op", "zones", "kiops", "mean_latency_us"],
+        "notes": ["zone count capped at 14 = the ZN540 max-open-zones limit"],
+    }
+
+
+def _fig4b_plan(config: ExperimentConfig) -> list:
+    return [
+        {"op": op, "zones": zones}
+        for op in (IoKind.READ, IoKind.WRITE, IoKind.APPEND)
+        for zones in INTER_LEVELS
+    ]
+
+
+def _fig4b_point(config: ExperimentConfig, params: dict) -> dict:
+    op, zones = params["op"], params["zones"]
+    job_result = _inter_point(config, op, zones)
+    return {
+        "rows": [{
+            "op": op, "zones": zones, "kiops": job_result.kiops,
+            "mean_latency_us": job_result.latency.mean_us,
+        }],
+        "series": [[op, [[zones, job_result.kiops]]]],
+    }
+
+
+def _fig4c_describe(config: ExperimentConfig) -> dict:
+    return {
+        "title": "Bandwidth vs concurrency (intra-zone append / inter-zone write)",
+        "columns": ["mode", "request_kib", "concurrency", "bandwidth_mibs"],
+        "notes": [
             "concurrency = QD for appends, concurrent zones for writes",
             "bandwidth-capped points are warm-started past the "
             "buffer-fill transient (DESIGN.md §7)",
         ],
+    }
+
+
+def _fig4c_plan(config: ExperimentConfig) -> list:
+    return [
+        {"block_kib": block_kib, "level": level}
+        for block_kib in (4, 8, 16)
+        for level in INTER_LEVELS
+    ]
+
+
+def _fig4c_point(config: ExperimentConfig, params: dict) -> dict:
+    block_kib, level = params["block_kib"], params["level"]
+    block_size = block_kib * KIB
+    # Points that can exceed the flash drain rate are warm-started
+    # to measure backpressure steady state directly.
+    saturating = (block_kib >= 8 and level >= 2) or block_kib >= 16
+    runtime = ms(140) if saturating else None
+    ramp = ms(25) if saturating else None
+    append_res = _intra_point(
+        config, IoKind.APPEND, level, block_size,
+        runtime_ns=runtime, ramp_ns=ramp, warm_start=saturating,
     )
-    for block_kib in (4, 8, 16):
-        block_size = block_kib * KIB
-        for level in INTER_LEVELS:
-            # Points that can exceed the flash drain rate are warm-started
-            # to measure backpressure steady state directly.
-            saturating = (block_kib >= 8 and level >= 2) or block_kib >= 16
-            runtime = ms(140) if saturating else None
-            ramp = ms(25) if saturating else None
-            append_res = _intra_point(
-                config, IoKind.APPEND, level, block_size,
-                runtime_ns=runtime, ramp_ns=ramp, warm_start=saturating,
-            )
-            write_res = _inter_point(
-                config, IoKind.WRITE, level, block_size,
-                runtime_ns=runtime, ramp_ns=ramp, warm_start=saturating,
-            )
-            result.add_row(
-                mode="append-intra", request_kib=block_kib, concurrency=level,
-                bandwidth_mibs=append_res.bandwidth_mibs,
-            )
-            result.add_row(
-                mode="write-inter", request_kib=block_kib, concurrency=level,
-                bandwidth_mibs=write_res.bandwidth_mibs,
-            )
-            result.series.setdefault(f"append-{block_kib}k", []).append(
-                (level, append_res.bandwidth_mibs)
-            )
-            result.series.setdefault(f"write-{block_kib}k", []).append(
-                (level, write_res.bandwidth_mibs)
-            )
-    return result
+    write_res = _inter_point(
+        config, IoKind.WRITE, level, block_size,
+        runtime_ns=runtime, ramp_ns=ramp, warm_start=saturating,
+    )
+    return {
+        "rows": [
+            {"mode": "append-intra", "request_kib": block_kib,
+             "concurrency": level, "bandwidth_mibs": append_res.bandwidth_mibs},
+            {"mode": "write-inter", "request_kib": block_kib,
+             "concurrency": level, "bandwidth_mibs": write_res.bandwidth_mibs},
+        ],
+        "series": [
+            [f"append-{block_kib}k", [[level, append_res.bandwidth_mibs]]],
+            [f"write-{block_kib}k", [[level, write_res.bandwidth_mibs]]],
+        ],
+    }
+
+
+FIG4A_PLAN = ExperimentPlan("fig4a", _fig4a_plan, _fig4a_point, _fig4a_describe)
+FIG4B_PLAN = ExperimentPlan("fig4b", _fig4b_plan, _fig4b_point, _fig4b_describe)
+FIG4C_PLAN = ExperimentPlan("fig4c", _fig4c_plan, _fig4c_point, _fig4c_describe)
+
+
+def run_fig4a(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Intra-zone scalability in KIOPS, 4 KiB requests."""
+    return run_via_points(FIG4A_PLAN, config)
+
+
+def run_fig4b(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Inter-zone scalability in KIOPS, 4 KiB requests, QD1 per zone."""
+    return run_via_points(FIG4B_PLAN, config)
+
+
+def run_fig4c(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Bandwidth: intra-zone append vs inter-zone write at 4/8/16 KiB."""
+    return run_via_points(FIG4C_PLAN, config)

@@ -7,7 +7,7 @@ from typing import Callable, Optional
 from ..flash.geometry import MIB
 from ..zns.profiles import DeviceProfile, zn540
 from .experiments.common import ExperimentConfig
-from .observations import ObservationCheck, check_all
+from .observations import ObservationCheck
 from .recommendations import validate
 from .results import ExperimentResult, render_table
 
@@ -70,10 +70,29 @@ def run_experiments(
     ids: Optional[list[str]] = None,
     config: Optional[ExperimentConfig] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[str] = None,
 ) -> dict[str, ExperimentResult]:
-    """Run the named experiments (all of them by default)."""
+    """Run the named experiments (all of them by default).
+
+    ``jobs > 1`` or a ``cache`` directory routes through the execution
+    engine (:mod:`repro.exec`): points fan out over worker processes
+    and/or replay from the content-addressed cache, with output
+    byte-identical to this serial path.
+    """
+    if jobs != 1 or cache is not None:
+        from ..exec import execute_experiments
+
+        results, _report = execute_experiments(
+            ids, config, jobs=jobs, cache_dir=cache
+        )
+        if verbose:
+            for result in results.values():
+                print(result.table())
+                print()
+        return results
     runners = _runners()
-    results: dict[str, ExperimentResult] = {}
+    results = {}
     for exp_id in ids or list(runners):
         if exp_id not in runners:
             raise KeyError(f"unknown experiment {exp_id!r}; choose from {list(runners)}")

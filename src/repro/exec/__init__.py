@@ -1,0 +1,36 @@
+"""Parallel, cached execution of the paper experiments.
+
+``repro.exec`` decomposes every experiment into its independent sweep
+points (see :mod:`repro.core.experiments.points`), fans them out over a
+crash-tolerant process pool, serves previously-computed points from a
+content-addressed cache, and reassembles the exact tables the serial
+drivers produce — byte-identical output, a fraction of the wall clock.
+
+Entry points: :func:`execute_experiments` (library),
+``python -m repro run --jobs N`` (CLI).
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache, code_version
+from .engine import (
+    ExecutionError,
+    ExecutionReport,
+    PointRecord,
+    canonical_payload,
+    config_fields,
+    execute_experiments,
+)
+from .pool import DEFAULT_POINT_TIMEOUT_S, WorkerPool
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_POINT_TIMEOUT_S",
+    "ExecutionError",
+    "ExecutionReport",
+    "PointRecord",
+    "ResultCache",
+    "WorkerPool",
+    "canonical_payload",
+    "code_version",
+    "config_fields",
+    "execute_experiments",
+]

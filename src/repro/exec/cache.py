@@ -1,0 +1,111 @@
+"""Content-addressed cache of experiment-point results.
+
+Every sweep point is identified by the SHA-256 of
+
+* a schema version (bumped if the entry layout changes),
+* the **code version** — a digest over every ``repro`` source file, so
+  any change to the simulator, devices, or experiment drivers silently
+  invalidates the whole cache (stale results can never be served),
+* the experiment id and the point's parameter dict,
+* the scalar :class:`~repro.core.experiments.common.ExperimentConfig`
+  fields (seed, durations, sweep sizes), and
+* whether metrics were collected (a metrics-enabled run needs the
+  per-point registry snapshot in the entry).
+
+Entries are small JSON files under ``<dir>/<key[:2]>/<key>.json``,
+written atomically (temp file + rename), so a cache directory doubles
+as a crash-safe checkpoint: re-running an interrupted sweep replays the
+finished points from disk and only simulates the rest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ResultCache", "code_version", "CACHE_SCHEMA"]
+
+#: Bump when the cache-entry layout changes.
+CACHE_SCHEMA = 1
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (paths + contents)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Point-result store keyed by content hash.
+
+    Entries hold ``{"experiment_id", "label", "payload", "metrics",
+    "elapsed_s"}`` where ``payload`` is the point's JSON payload and
+    ``metrics`` is the worker's registry snapshot (or ``None``).
+    """
+
+    def __init__(self, directory: str | os.PathLike,
+                 version: Optional[str] = None):
+        self.directory = Path(directory)
+        self.version = version if version is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ----------------------------------------------------------
+    def key(self, experiment_id: str, params: dict, config_fields: dict,
+            with_metrics: bool) -> str:
+        blob = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "code": self.version,
+                "experiment": experiment_id,
+                "params": params,
+                "config": config_fields,
+                "metrics": with_metrics,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    # -- storage ---------------------------------------------------------
+    def load(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored entry, or ``None`` (counts a hit/miss either way)."""
+        try:
+            with open(self._path(key), encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key: str, entry: dict[str, Any]) -> None:
+        """Atomically persist one entry (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,345 @@
+"""The experiment execution engine: plan → (cache | workers) → assemble.
+
+Every experiment decomposes into independent, deterministically-seeded
+sweep points (:mod:`repro.core.experiments.points`). The engine
+
+1. expands the requested experiments into one task per point,
+2. serves finished points from the content-addressed
+   :class:`~repro.exec.cache.ResultCache` (which doubles as a
+   checkpoint: an interrupted sweep resumes from disk),
+3. fans the remaining points out over a
+   :class:`~repro.exec.pool.WorkerPool` (``--jobs N``) with a per-point
+   timeout and crash recovery, or runs them inline when ``jobs == 1``,
+4. reassembles payloads **in plan order** — never completion order — so
+   parallel output is byte-identical to the serial run, and
+5. merges per-point :class:`MetricsRegistry` snapshots back into the
+   caller's registry, again in plan order.
+
+Payloads are canonicalized through a JSON round-trip before assembly,
+so a value has exactly one form whether it came from this process, a
+worker, or a cache file (floats round-trip exactly; tuples become
+lists, which :func:`~repro.core.experiments.points.assemble` restores).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core.experiments.common import ExperimentConfig
+from ..core.experiments.points import (
+    assemble,
+    experiment_plans,
+    point_label,
+)
+from ..core.results import ExperimentResult, render_table
+from .cache import ResultCache
+from .pool import DEFAULT_POINT_TIMEOUT_S, WorkerPool
+
+__all__ = [
+    "ExecutionError",
+    "ExecutionReport",
+    "PointRecord",
+    "canonical_payload",
+    "config_fields",
+    "execute_experiments",
+]
+
+
+def config_fields(config: ExperimentConfig) -> dict[str, Any]:
+    """The scalar config fields (drops the tracer/metrics hooks)."""
+    return {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(config)
+        if f.name not in ("tracer", "metrics")
+    }
+
+
+def _json_scalar(obj: Any):
+    item = getattr(obj, "item", None)  # numpy scalars → Python scalars
+    if callable(item):
+        return item()
+    raise TypeError(f"payload value {obj!r} is not JSON-serializable")
+
+
+def canonical_payload(payload: Any) -> Any:
+    """The unique JSON-round-tripped form of a point payload."""
+    return json.loads(json.dumps(payload, default=_json_scalar))
+
+
+@dataclass
+class PointRecord:
+    """One point's execution record (for reports and ``profile --points``)."""
+
+    experiment_id: str
+    label: str
+    source: str  # "run" | "cache" | "failed"
+    elapsed_s: float
+    attempts: int = 1
+    error: Optional[str] = None
+
+
+@dataclass
+class ExecutionReport:
+    """What the engine did: per-point records plus run totals."""
+
+    jobs: int
+    points: list[PointRecord] = field(default_factory=list)
+    wall_s: float = 0.0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+
+    def summary(self) -> str:
+        total = len(self.points)
+        parts = [
+            f"{total} points: {self.executed} executed,"
+            f" {self.cache_hits} cached",
+        ]
+        if self.failed:
+            parts.append(f"{self.failed} FAILED")
+        parts.append(f"{self.wall_s:.1f}s wall, jobs={self.jobs}")
+        return "[exec] " + ", ".join(parts)
+
+    def table(self) -> str:
+        """Per-point wall-clock table (slowest first)."""
+        rows = [
+            {
+                "experiment": record.experiment_id,
+                "point": record.label,
+                "source": record.source,
+                "attempts": record.attempts,
+                "wall_s": record.elapsed_s,
+            }
+            for record in sorted(
+                self.points, key=lambda r: r.elapsed_s, reverse=True
+            )
+        ]
+        return render_table(
+            ["experiment", "point", "source", "attempts", "wall_s"],
+            rows,
+            title=f"[exec] per-point wall clock ({self.summary()[7:]})",
+        )
+
+
+class ExecutionError(RuntimeError):
+    """Raised when points still fail after their retry."""
+
+    def __init__(self, failures: list[PointRecord], report: ExecutionReport):
+        self.failures = failures
+        self.report = report
+        lines = [f"{len(failures)} experiment point(s) failed:"]
+        for record in failures:
+            first_line = (record.error or "").strip().splitlines()
+            detail = first_line[-1] if first_line else "unknown error"
+            lines.append(
+                f"  {record.experiment_id}:{record.label} "
+                f"({record.attempts} attempts): {detail}"
+            )
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class _Point:
+    """Internal bookkeeping for one sweep point."""
+
+    task_id: int
+    experiment_id: str
+    index: int
+    params: dict
+    label: str
+    cache_key: Optional[str] = None
+
+
+def _run_point_inline(plans, task: dict, config: ExperimentConfig) -> dict:
+    """Execute one task in-process (the ``jobs == 1`` path)."""
+    from ..obs.metrics import MetricsRegistry
+
+    started = time.perf_counter()
+    try:
+        run_config = config
+        metrics = None
+        if task["collect_metrics"]:
+            metrics = MetricsRegistry()
+            run_config = dataclasses.replace(config, metrics=metrics)
+        payload = plans[task["experiment_id"]].point(run_config, task["params"])
+        return {
+            "task_id": task["task_id"],
+            "ok": True,
+            "payload": payload,
+            "metrics": metrics.snapshot() if metrics is not None else None,
+            "elapsed_s": time.perf_counter() - started,
+            "attempts": 1,
+        }
+    except Exception:
+        import traceback
+
+        return {
+            "task_id": task["task_id"],
+            "ok": False,
+            "error": traceback.format_exc(),
+            "attempts": 1,
+        }
+
+
+def execute_experiments(
+    ids: Optional[list[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    timeout_s: float = DEFAULT_POINT_TIMEOUT_S,
+    progress: Optional[Callable[[str], None]] = None,
+) -> tuple[dict[str, ExperimentResult], ExecutionReport]:
+    """Run experiments through the point engine.
+
+    Returns ``(results, report)`` where ``results`` maps experiment id →
+    :class:`ExperimentResult` in request order. Raises
+    :class:`ExecutionError` if any point still fails after its retry.
+    """
+    config = config or ExperimentConfig()
+    if config.tracer is not None:
+        raise ValueError(
+            "command tracing records one in-process timeline and cannot be "
+            "merged across workers; run traced experiments serially via "
+            "the legacy path (repro run --trace forces it)"
+        )
+    plans = experiment_plans()
+    ids = list(ids) if ids else list(plans)
+    unknown = [i for i in ids if i not in plans]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; choose from {list(plans)}"
+        )
+    say = progress if progress is not None else (lambda message: None)
+    collect_metrics = config.metrics is not None
+    cfg_fields = config_fields(config)
+    cache = ResultCache(cache_dir) if cache_dir else None
+
+    started = time.monotonic()
+    report = ExecutionReport(jobs=jobs)
+
+    # 1. Expand every experiment into globally-indexed points.
+    points: list[_Point] = []
+    payloads: dict[str, list] = {}
+    for exp_id in ids:
+        params_list = [canonical_payload(p) for p in plans[exp_id].plan(config)]
+        payloads[exp_id] = [None] * len(params_list)
+        for index, params in enumerate(params_list):
+            points.append(_Point(
+                task_id=len(points), experiment_id=exp_id, index=index,
+                params=params, label=point_label(params),
+            ))
+
+    # 2. Serve finished points from the cache.
+    records: dict[int, PointRecord] = {}
+    snapshots: dict[int, Optional[dict]] = {}
+    misses: list[_Point] = []
+    for point in points:
+        if cache is not None:
+            point.cache_key = cache.key(
+                point.experiment_id, point.params, cfg_fields, collect_metrics
+            )
+            entry = cache.load(point.cache_key)
+            if entry is not None:
+                payloads[point.experiment_id][point.index] = entry["payload"]
+                snapshots[point.task_id] = entry.get("metrics")
+                records[point.task_id] = PointRecord(
+                    point.experiment_id, point.label, "cache",
+                    entry.get("elapsed_s", 0.0),
+                )
+                report.cache_hits += 1
+                continue
+        misses.append(point)
+
+    total = len(points)
+    say(f"[exec] {total} points across {len(ids)} experiment(s): "
+        f"{report.cache_hits} cached, {len(misses)} to run "
+        f"(jobs={jobs})")
+
+    # 3. Run the cache misses — fanned out or inline.
+    tasks = [
+        {
+            "task_id": point.task_id,
+            "experiment_id": point.experiment_id,
+            "params": point.params,
+            "config": cfg_fields,
+            "collect_metrics": collect_metrics,
+        }
+        for point in misses
+    ]
+    by_id = {point.task_id: point for point in misses}
+    done = [report.cache_hits]
+
+    def on_reply(task: dict, reply: dict) -> None:
+        point = by_id[task["task_id"]]
+        done[0] += 1
+        if reply["ok"]:
+            say(f"[exec] {done[0]}/{total} {point.experiment_id}:"
+                f"{point.label} ({reply['elapsed_s']:.2f}s)")
+        else:
+            say(f"[exec] {done[0]}/{total} {point.experiment_id}:"
+                f"{point.label} FAILED after {reply['attempts']} attempt(s)")
+
+    if jobs > 1 and len(tasks) > 1:
+        pool = WorkerPool(jobs, timeout_s=timeout_s)
+        replies = pool.run(tasks, on_reply=on_reply)
+    else:
+        replies = {}
+        for task in tasks:
+            reply = _run_point_inline(plans, task, config)
+            replies[task["task_id"]] = reply
+            on_reply(task, reply)
+
+    # 4. Fold replies back in plan order; persist fresh points.
+    failures: list[PointRecord] = []
+    for point in misses:
+        reply = replies[point.task_id]
+        if not reply["ok"]:
+            record = PointRecord(
+                point.experiment_id, point.label, "failed", 0.0,
+                attempts=reply.get("attempts", 1), error=reply.get("error"),
+            )
+            records[point.task_id] = record
+            failures.append(record)
+            report.failed += 1
+            continue
+        payload = canonical_payload(reply["payload"])
+        metrics_snapshot = reply.get("metrics")
+        if metrics_snapshot is not None:
+            metrics_snapshot = canonical_payload(metrics_snapshot)
+        payloads[point.experiment_id][point.index] = payload
+        snapshots[point.task_id] = metrics_snapshot
+        records[point.task_id] = PointRecord(
+            point.experiment_id, point.label, "run", reply["elapsed_s"],
+            attempts=reply.get("attempts", 1),
+        )
+        report.executed += 1
+        if cache is not None:
+            cache.store(point.cache_key, {
+                "experiment_id": point.experiment_id,
+                "label": point.label,
+                "payload": payload,
+                "metrics": metrics_snapshot,
+                "elapsed_s": reply["elapsed_s"],
+            })
+
+    report.points = [records[point.task_id] for point in points]
+    report.wall_s = time.monotonic() - started
+    if failures:
+        raise ExecutionError(failures, report)
+
+    # 5. Merge metrics snapshots in plan order, then assemble tables.
+    if collect_metrics:
+        for point in points:
+            snapshot = snapshots.get(point.task_id)
+            if snapshot:
+                config.metrics.merge_snapshot(snapshot)
+    results = {
+        exp_id: assemble(plans[exp_id], config, payloads[exp_id])
+        for exp_id in ids
+    }
+    say(report.summary())
+    return results, report

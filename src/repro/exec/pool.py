@@ -1,0 +1,215 @@
+"""A crash-tolerant process pool for experiment points.
+
+Deliberately hand-rolled rather than ``multiprocessing.Pool``: the
+stock pool cannot kill a single hung task, and a worker that dies
+mid-result poisons the whole map call. Here every worker owns one
+:class:`~multiprocessing.Pipe`; the parent multiplexes replies with
+:func:`multiprocessing.connection.wait`, enforces a per-point deadline,
+and on a timeout or crash kills just that worker, respawns a fresh one,
+and retries the point once before reporting it failed. A sweep never
+hangs and never loses more than the one offending point.
+
+Task / reply protocol (everything picklable and JSON-able)::
+
+    task  = {"task_id": int, "experiment_id": str, "params": dict,
+             "config": dict, "collect_metrics": bool}
+    reply = {"task_id": int, "ok": True, "payload": dict,
+             "metrics": dict | None, "elapsed_s": float,
+             "attempts": int}
+          | {"task_id": int, "ok": False, "error": str,
+             "attempts": int}
+
+Workers build the :class:`ExperimentConfig` from the scalar ``config``
+fields and look the experiment up in the shared plan registry, so each
+point runs exactly the code the serial path runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import time
+import traceback
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Callable, Optional
+
+__all__ = ["WorkerPool", "DEFAULT_POINT_TIMEOUT_S"]
+
+#: Generous per-point wall-clock budget; the longest full-scale point
+#: (fig6 interference timelines) simulates in well under a minute.
+DEFAULT_POINT_TIMEOUT_S = 600.0
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: receive tasks until ``None`` / EOF, send replies."""
+    from ..core.experiments.common import ExperimentConfig
+    from ..core.experiments.points import experiment_plans
+    from ..obs.metrics import MetricsRegistry
+
+    plans = experiment_plans()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        started = time.perf_counter()
+        try:
+            config = ExperimentConfig(**task["config"])
+            metrics = None
+            if task["collect_metrics"]:
+                metrics = MetricsRegistry()
+                config = dataclasses.replace(config, metrics=metrics)
+            plan = plans[task["experiment_id"]]
+            payload = plan.point(config, task["params"])
+            reply = {
+                "task_id": task["task_id"],
+                "ok": True,
+                "payload": payload,
+                "metrics": metrics.snapshot() if metrics is not None else None,
+                "elapsed_s": time.perf_counter() - started,
+            }
+        except BaseException:
+            reply = {
+                "task_id": task["task_id"],
+                "ok": False,
+                "error": traceback.format_exc(),
+            }
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """One worker process plus the parent's end of its pipe."""
+
+    def __init__(self, ctx, worker_id: int):
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn,),
+            name=f"repro-exec-{worker_id}", daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # parent keeps one end; EOF surfaces crashes
+        self.conn = parent_conn
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=5)
+        self.conn.close()
+
+
+class WorkerPool:
+    """Fan tasks out over worker processes with timeout/crash recovery."""
+
+    def __init__(self, jobs: int, timeout_s: float = DEFAULT_POINT_TIMEOUT_S,
+                 max_attempts: int = 2, mp_context=None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        if mp_context is None:
+            methods = mp.get_all_start_methods()
+            mp_context = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._ctx = mp_context
+        self._next_worker_id = 0
+
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self._ctx, self._next_worker_id)
+        self._next_worker_id += 1
+        return worker
+
+    def run(
+        self,
+        tasks: list[dict],
+        on_reply: Optional[Callable[[dict, dict], None]] = None,
+    ) -> dict[int, dict]:
+        """Run every task; returns task_id → final reply.
+
+        ``on_reply(task, reply)`` fires once per task when its final
+        reply (success, or failure after the retry) is known.
+        """
+        if not tasks:
+            return {}
+        pending = list(reversed(tasks))  # pop() serves original order
+        attempts: dict[int, int] = {t["task_id"]: 0 for t in tasks}
+        replies: dict[int, dict] = {}
+        by_id = {t["task_id"]: t for t in tasks}
+        workers = [self._spawn() for _ in range(min(self.jobs, len(tasks)))]
+        busy: dict[Connection, tuple[dict, float, _Worker]] = {}
+
+        def finish(task: dict, reply: dict) -> None:
+            reply["attempts"] = attempts[task["task_id"]] + (1 if reply["ok"] else 0)
+            replies[task["task_id"]] = reply
+            if on_reply is not None:
+                on_reply(task, reply)
+
+        def fail(task: dict, error: str) -> None:
+            attempts[task["task_id"]] += 1
+            if attempts[task["task_id"]] < self.max_attempts:
+                pending.append(task)  # retry once on a fresh/idle worker
+            else:
+                finish(task, {"task_id": task["task_id"], "ok": False,
+                              "error": error})
+
+        try:
+            while len(replies) < len(tasks):
+                # Hand pending tasks to idle workers.
+                for worker in workers:
+                    if worker.conn not in busy and pending:
+                        task = pending.pop()
+                        worker.conn.send(task)
+                        busy[worker.conn] = (
+                            task, time.monotonic() + self.timeout_s, worker
+                        )
+                if not busy:  # pragma: no cover - defensive
+                    break
+                deadline = min(d for _, d, _ in busy.values())
+                wait_s = max(0.0, min(deadline - time.monotonic(), 1.0))
+                ready = connection_wait(list(busy), timeout=wait_s)
+                for conn in ready:
+                    task, _, worker = busy.pop(conn)
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-point: replace it, retry the task.
+                        workers.remove(worker)
+                        worker.kill()
+                        workers.append(self._spawn())
+                        fail(task, "worker process crashed "
+                                   f"(pid {worker.process.pid}, "
+                                   f"exitcode {worker.process.exitcode})")
+                        continue
+                    if reply.get("ok"):
+                        finish(task, reply)
+                    else:
+                        fail(task, reply.get("error", "unknown worker error"))
+                # Kill anything past its deadline and retry it elsewhere.
+                now = time.monotonic()
+                for conn in [c for c, (_, d, _) in busy.items() if d <= now]:
+                    task, _, worker = busy.pop(conn)
+                    workers.remove(worker)
+                    worker.kill()
+                    workers.append(self._spawn())
+                    fail(task, f"point exceeded the {self.timeout_s:.0f}s "
+                               "timeout and was killed")
+        finally:
+            for worker in workers:
+                worker.shutdown()
+        assert set(replies) == set(by_id)
+        return replies

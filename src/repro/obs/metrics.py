@@ -192,6 +192,44 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, Any]:
         return {name: self._metrics[name].snapshot() for name in self.names()}
 
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the execution engine to combine per-worker registries:
+        counters add, histograms add bucket-wise, gauges take the
+        incoming value (last write wins) and the max of the two highs.
+        Metric kinds are inferred from the snapshot shape; merging in
+        point order makes the combined registry match what one serial
+        registry would have recorded (up to gauge instantaneous values).
+        JSON round-trips turn histogram bucket bounds into strings;
+        they are coerced back to ints here.
+        """
+        for name, data in snapshot.items():
+            if isinstance(data, (int, float)) and not isinstance(data, bool):
+                self.counter(name).inc(int(data))
+            elif isinstance(data, dict) and "buckets" in data:
+                bounds = sorted(int(b) for b in data["buckets"])
+                histogram = self.histogram(name, bounds=bounds)
+                if list(histogram.bounds) != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ: "
+                        f"{histogram.bounds} vs {tuple(bounds)}"
+                    )
+                incoming = {int(b): c for b, c in data["buckets"].items()}
+                for i, bound in enumerate(histogram.bounds):
+                    histogram.counts[i] += incoming[bound]
+                histogram.counts[-1] += data["overflow"]
+                histogram.total += data["count"]
+                histogram.sum += data["sum"]
+            elif isinstance(data, dict) and "value" in data:
+                gauge = self.gauge(name)
+                gauge.value = data["value"]
+                gauge.max_value = max(gauge.max_value, data["max"])
+            else:
+                raise ValueError(
+                    f"unrecognized snapshot shape for metric {name!r}: {data!r}"
+                )
+
     def table(self, title: str = "[metrics]") -> str:
         """A plain-text dump: one line per metric, sorted by name."""
         lines = [title]

@@ -15,7 +15,27 @@ import numpy as np
 
 from ..hostif.commands import Command, Opcode
 
-__all__ = ["ZoneWriteCursor", "ZoneAppendCursor", "RandomReadPattern", "RangePattern"]
+__all__ = ["BACKOFF", "Backoff", "ZoneWriteCursor", "ZoneAppendCursor",
+           "RandomReadPattern", "RangePattern"]
+
+
+class Backoff:
+    """Sentinel target: no command can be formed *right now*.
+
+    Returned (in the command position) when every candidate zone is
+    blocked by in-flight work — e.g. all zones full but with outstanding
+    append reservations that will be released by pending completions.
+    The runner must wait a short simulated delay and ask again rather
+    than retire the slot; at high iodepth, slots hitting a zone boundary
+    would otherwise die and silently shrink the measured concurrency.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<BACKOFF>"
+
+
+#: The shared back-off sentinel instance.
+BACKOFF = Backoff()
 
 
 class ZoneWriteCursor:
@@ -100,6 +120,12 @@ class ZoneAppendCursor:
             if self.reset_when_full and self._reserved[zone_id] == 0:
                 return None, zone_id
             self._zone_pos = (self._zone_pos + 1) % len(self.zone_ids)
+        if any(count > 0 for count in self._reserved.values()):
+            # Every zone is full *including* reservations held by appends
+            # still in flight. Those reservations will be released (and,
+            # with reset_when_full, the zones recycled), so this is a
+            # transient condition — signal back-off, not exhaustion.
+            return BACKOFF, None
         return None, None
 
     def completed(self, command: Command) -> None:

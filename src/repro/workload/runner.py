@@ -15,7 +15,7 @@ latencies are recorded separately (used by Fig. 7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator
 
 import numpy as np
 
@@ -24,7 +24,13 @@ from ..hostif.status import Status
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_NS
 from ..sim.engine import Event, NS_PER_S, Simulator, us
 from .job import IoKind, JobSpec, Pattern
-from .patterns import RandomReadPattern, RangePattern, ZoneAppendCursor, ZoneWriteCursor
+from .patterns import (
+    BACKOFF,
+    RandomReadPattern,
+    RangePattern,
+    ZoneAppendCursor,
+    ZoneWriteCursor,
+)
 from .ratelimit import RatePacer
 from .stats import LatencyStats, TimeSeries
 
@@ -164,6 +170,12 @@ class JobRunner:
             if reset_zone is not None:
                 yield from self._reset_zone(pattern, reset_zone)
                 continue
+            if command is BACKOFF:
+                # All target zones transiently blocked by in-flight work;
+                # wait out a completion window and retry instead of
+                # retiring the slot (which would shrink concurrency).
+                yield self.sim.timeout(us(10))
+                continue
             if command is None:
                 return
             if self._pacer is not None:
@@ -191,8 +203,14 @@ class JobRunner:
                 self.result.resets += 1
                 if self.sim.now >= self._ramp_end_ns:
                     self.result.reset_latency.record(completion.latency_ns)
-            if isinstance(pattern, ZoneAppendCursor):
-                pattern.reset_done(zone_id)
+                # Only a *successful* reset rewinds the write pointer;
+                # clearing the cursor's reservations for a zone that was
+                # never reset would let appends overshoot its capacity.
+                if isinstance(pattern, ZoneAppendCursor):
+                    pattern.reset_done(zone_id)
+            else:
+                errors = self.result.errors
+                errors[completion.status] = errors.get(completion.status, 0) + 1
         finally:
             self._resetting.discard(zone_id)
 

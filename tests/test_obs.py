@@ -112,6 +112,52 @@ class TestMetrics:
         with pytest.raises(TypeError):
             registry.gauge("x")
 
+    def test_merge_snapshot_combines_workers(self):
+        import json
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, ops, depth, lat in ((a, 3, 2.0, 1_500), (b, 4, 5.0, 9_000)):
+            registry.counter("ops").inc(ops)
+            registry.gauge("depth").set(depth)
+            registry.histogram("lat", bounds=[1_000, 8_000]).observe(lat)
+        merged = MetricsRegistry()
+        # JSON round-trip, as snapshots arrive from workers / the cache
+        # (dict keys become strings).
+        for source in (a, b):
+            merged.merge_snapshot(json.loads(json.dumps(source.snapshot())))
+        assert merged.counter("ops").value == 7
+        gauge = merged.gauge("depth")
+        assert gauge.value == 5.0 and gauge.max_value == 5.0
+        hist = merged.histogram("lat", bounds=[1_000, 8_000])
+        assert hist.total == 2 and hist.sum == 10_500
+        assert hist.counts == [0, 1, 1]
+
+    def test_merge_snapshot_matches_serial_recording(self):
+        serial, w1, w2 = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        for value in (500, 3_000, 64_000):
+            serial.histogram("lat").observe(value)
+            serial.counter("n").inc()
+        for registry, values in ((w1, (500, 3_000)), (w2, (64_000,))):
+            for value in values:
+                registry.histogram("lat").observe(value)
+                registry.counter("n").inc()
+        merged = MetricsRegistry()
+        merged.merge_snapshot(w1.snapshot())
+        merged.merge_snapshot(w2.snapshot())
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_merge_snapshot_rejects_mismatched_bounds(self):
+        target = MetricsRegistry()
+        target.histogram("lat", bounds=[100, 200])
+        other = MetricsRegistry()
+        other.histogram("lat", bounds=[100, 300]).observe(50)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            target.merge_snapshot(other.snapshot())
+
+    def test_merge_snapshot_rejects_unknown_shape(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            MetricsRegistry().merge_snapshot({"weird": {"shape": 1}})
+
     def test_histogram_bucket_math(self):
         h = Histogram("lat", bounds=(10, 100, 1000))
         for v in (5, 10, 50, 500, 5000):

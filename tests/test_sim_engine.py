@@ -56,6 +56,34 @@ class TestTimeouts:
         sim.run(until=us(10))
         assert sim.now == us(10)
 
+    def test_event_exactly_at_deadline_fires(self):
+        # The stop condition is when > deadline: an event scheduled at
+        # exactly the deadline belongs to the run and must fire.
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(us(30))
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=us(30))
+        assert fired == [us(30)]
+        assert sim.now == us(30)
+
+    def test_event_just_past_deadline_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(us(30) + 1)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=us(30))
+        assert fired == []
+        assert sim.now == us(30)
+
     def test_negative_timeout_rejected(self):
         sim = Simulator()
         with pytest.raises(SimulationError):
