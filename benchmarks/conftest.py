@@ -7,20 +7,43 @@ the observation predicates that the paper derives from it.
 
 The pytest-benchmark timing measures the wall-clock cost of regenerating
 the artifact (one round — these are simulations, not microbenchmarks).
-Experiments shared between benchmarks (e.g. Fig. 6a/6b) run once per
-session via the ``results`` cache.
+
+Experiments run through the :mod:`repro.exec` engine, so the suite is
+
+* **parallel** — sweep points fan out over ``REPRO_BENCH_JOBS`` worker
+  processes (default: the CPU count; output stays byte-identical at any
+  job count),
+* **cached** — finished points are served from ``REPRO_BENCH_CACHE``
+  (default ``.repro_cache`` at the repo root, shared with the CLI; set
+  it to the empty string to benchmark everything fresh), and
+* **longest-first** — cache misses are scheduled by recorded duration
+  hints so the slowest points start first and the pool drains level.
+
+Experiments shared between benchmarks (e.g. Fig. 6a/6b) additionally
+run once per session via the ``results`` fixture.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.core import ExperimentConfig
+from repro.core.experiments.points import experiment_plans
 from repro.core.report import EXPERIMENT_RUNNERS
+from repro.exec import execute_experiments
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Worker processes for sweep-point fan-out (0/unset → CPU count).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0) or (os.cpu_count() or 1)
+
+#: Point-result cache directory; empty string disables caching.
+CACHE_DIR: str | None = os.environ.get(
+    "REPRO_BENCH_CACHE", str(pathlib.Path(__file__).parent.parent / ".repro_cache")
+) or None
 
 
 class ResultsCache:
@@ -32,9 +55,27 @@ class ResultsCache:
 
     def get(self, exp_id: str, runner=None):
         if exp_id not in self._results:
-            runner = runner or EXPERIMENT_RUNNERS()[exp_id]
-            self._results[exp_id] = runner(self.config)
+            if runner is None and exp_id in experiment_plans():
+                self.get_many([exp_id])
+            else:
+                runner = runner or EXPERIMENT_RUNNERS()[exp_id]
+                self._results[exp_id] = runner(self.config)
         return self._results[exp_id]
+
+    def get_many(self, exp_ids: list[str]) -> dict[str, object]:
+        """Produce several experiments in one engine invocation.
+
+        Batching lets the longest-first scheduler interleave points
+        *across* experiments, so one slow sweep cannot serialize the
+        tail of the run.
+        """
+        missing = [e for e in exp_ids if e not in self._results]
+        if missing:
+            produced, _report = execute_experiments(
+                missing, self.config, jobs=JOBS, cache_dir=CACHE_DIR,
+            )
+            self._results.update(produced)
+        return {e: self._results[e] for e in exp_ids}
 
     def peek(self, exp_id: str):
         return self._results.get(exp_id)

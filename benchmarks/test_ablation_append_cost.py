@@ -2,13 +2,11 @@
 
 import pytest
 
-from repro.core.experiments.ablations import run_ablation_append_cost
-
 from conftest import emit, run_once
 
 
 def test_ablation_append_cost(benchmark, results):
-    result = run_once(benchmark, lambda: run_ablation_append_cost(results.config))
+    result = run_once(benchmark, lambda: results.get("ablation-append-cost"))
     emit(result)
     rows = result.rows
     # With append == write cost (the NVMeVirt assumption), the plateau

@@ -2,13 +2,11 @@
 
 import pytest
 
-from repro.core.experiments.ablations import run_ablation_buffer
-
 from conftest import emit, run_once
 
 
 def test_ablation_write_buffer_sets_read_tail(benchmark, results):
-    result = run_once(benchmark, lambda: run_ablation_buffer(results.config))
+    result = run_once(benchmark, lambda: results.get("ablation-buffer"))
     emit(result)
     # p95 tracks buffer_bytes / program_bandwidth across a 8x sweep.
     for row in result.rows:

@@ -1,16 +1,10 @@
 """Ablations: GC die priority (conv) and flash parallelism sweep."""
 
-from repro.core.experiments.ablations import (
-    run_ablation_gc_priority,
-    run_ablation_geometry,
-    run_ablation_zone_size,
-)
-
 from conftest import emit, run_once
 
 
 def test_ablation_gc_priority(benchmark, results):
-    result = run_once(benchmark, lambda: run_ablation_gc_priority(results.config))
+    result = run_once(benchmark, lambda: results.get("ablation-gc-priority"))
     emit(result)
     urgent = result.find(gc_priority="urgent")
     plain = result.find(gc_priority="plain-io")
@@ -22,7 +16,7 @@ def test_ablation_gc_priority(benchmark, results):
 
 
 def test_ablation_geometry(benchmark, results):
-    result = run_once(benchmark, lambda: run_ablation_geometry(results.config))
+    result = run_once(benchmark, lambda: results.get("ablation-geometry"))
     emit(result)
     bws = result.column("write_bw_mibs")
     reads = result.column("read_qd32_kiops")
@@ -35,7 +29,7 @@ def test_ablation_geometry(benchmark, results):
 
 
 def test_ablation_zone_size(benchmark, results):
-    result = run_once(benchmark, lambda: run_ablation_zone_size(results.config))
+    result = run_once(benchmark, lambda: results.get("ablation-zone-size"))
     emit(result)
     # The large-zone device cannot open 28 zones; the small-zone device
     # can, and still plateaus at the per-command append cap.

@@ -1,12 +1,10 @@
 """Fig. 6 rate-limited configurations (paper: "stable in all", unplotted)."""
 
-from repro.core.experiments.io_interference import run_fig6_rate_sweep
-
 from conftest import emit, run_once
 
 
 def test_fig6_rate_limited_stability(benchmark, results):
-    result = run_once(benchmark, lambda: run_fig6_rate_sweep(results.config))
+    result = run_once(benchmark, lambda: results.get("fig6rates"))
     emit(result)
     # ZNS: write throughput matches the configured rate and stays stable
     # at every limit (paper §III-F).

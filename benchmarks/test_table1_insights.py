@@ -13,7 +13,7 @@ def test_table1_key_insights(benchmark, results):
               "obs9", "fig5a", "fig5b", "fig6", "fig7"]
 
     def build():
-        collected = {exp_id: results.get(exp_id) for exp_id in needed}
+        collected = results.get_many(needed)
         return check_all(collected)
 
     checks = run_once(benchmark, build)

@@ -12,6 +12,11 @@ Commands
 ``observations`` run the experiments needed for the 13 observations and
                  report which reproduce (Table I)
 ``fidelity``     run the §IV emulator-fidelity matrix
+``bench``        benchmark the suite: per-experiment wall clock and
+                 simulated events/sec, written to ``BENCH_sim.json``;
+                 ``--baseline`` turns it into a perf regression gate
+``cache``        manage the point-result cache (``cache prune`` deletes
+                 entries orphaned by code changes)
 ``list``         list available experiment ids
 """
 
@@ -104,6 +109,41 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-interference", action="store_true",
         help="skip the minutes-long fig6/obs11/fig7 experiments")
     sub.add_parser("fidelity", help="run the emulator-fidelity matrix (§IV)")
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark the suite, write BENCH_sim.json")
+    bench_parser.add_argument("ids", nargs="*",
+                              help="experiment ids (default: all)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="CI smoke mode: the cheap sweep subset "
+                                   "at --fast scale")
+    bench_parser.add_argument("--jobs", "-j", type=int, default=1,
+                              help="worker processes (default 1)")
+    bench_parser.add_argument("--output", "-o", metavar="PATH",
+                              default="BENCH_sim.json",
+                              help="where to write the benchmark JSON "
+                                   "(default %(default)s; '-' skips)")
+    bench_parser.add_argument("--cache", metavar="DIR", default=None,
+                              help="serve points from this cache (default: "
+                                   "no cache — benchmark everything fresh)")
+    bench_parser.add_argument("--baseline", metavar="PATH",
+                              help="compare against a previous BENCH_sim.json "
+                                   "and fail on regression")
+    bench_parser.add_argument("--max-regression", type=float, default=0.20,
+                              metavar="FRACTION",
+                              help="allowed events/sec drop vs the baseline "
+                                   "(default %(default)s)")
+    cache_parser = sub.add_parser(
+        "cache", help="manage the point-result cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    prune_parser = cache_sub.add_parser(
+        "prune", help="delete cache entries from older code versions")
+    prune_parser.add_argument("--cache", metavar="DIR",
+                              default=".repro_cache",
+                              help="cache directory (default %(default)s)")
+    prune_parser.add_argument("--dry-run", action="store_true",
+                              help="report what would be deleted, delete "
+                                   "nothing")
 
     args = parser.parse_args(argv)
 
@@ -170,8 +210,18 @@ def main(argv: list[str] | None = None) -> int:
             print(report.table())
             return 0
         if args.self_profile:
+            import time
+
+            from .sim.engine import events_total
+
+            events_before = events_total()
+            wall_started = time.perf_counter()
             tracer, breakdown = run_self_profile()
+            wall_s = time.perf_counter() - wall_started
+            events = events_total() - events_before
             print("[profile] built-in smoke workload (zn540_small)")
+            print(f"[profile] {events} events in {wall_s * 1e3:.1f} ms "
+                  f"({events / wall_s:,.0f} events/sec)")
         elif args.experiment:
             config = _config_from_args(args)
             tracer, breakdown, _result = profile_experiment(
@@ -207,6 +257,55 @@ def main(argv: list[str] | None = None) -> int:
 
         print(run_fidelity_matrix().table())
         return 0
+
+    if args.command == "bench":
+        import json
+
+        from .exec import bench
+
+        if args.quick:
+            config = _config_from_args(
+                argparse.Namespace(seed=args.seed, fast=True,
+                                   scale=args.scale))
+            ids = args.ids or bench.QUICK_IDS
+        else:
+            config = _config_from_args(args)
+            ids = args.ids or None
+        doc = bench.run_bench(
+            ids, config, jobs=args.jobs, cache_dir=args.cache,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        baseline = bench.load(args.baseline) if args.baseline else None
+        bench.render(doc, baseline)
+        if args.output and args.output != "-":
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[bench] wrote {args.output}")
+        if baseline is not None:
+            failures = bench.compare(doc, baseline, args.max_regression)
+            for failure in failures:
+                print(f"[bench] FAIL: {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print(f"[bench] within {args.max_regression:.0%} of baseline "
+                  f"({args.baseline})")
+        return 0
+
+    if args.command == "cache":
+        from .exec.cache import ResultCache
+
+        if args.cache_command == "prune":
+            cache = ResultCache(args.cache)
+            stale, kept = cache.prune(dry_run=args.dry_run)
+            verb = "would delete" if args.dry_run else "deleted"
+            print(f"[cache] {verb} {len(stale)} stale entr"
+                  f"{'y' if len(stale) == 1 else 'ies'}, "
+                  f"kept {kept} current ({args.cache})")
+            if args.dry_run:
+                for path in stale:
+                    print(f"[cache]   {path}")
+            return 0
 
     raise AssertionError("unreachable")  # pragma: no cover
 

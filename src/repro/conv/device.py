@@ -118,18 +118,19 @@ class ConvDevice:
             else 0
         )
         self.last_cid = cid
-        done = self.sim.event()
         if command.opcode is Opcode.READ:
-            self.sim.process(self._exec_read(command, done, cid))
+            gen = self._exec_read(command, cid)
         elif command.opcode is Opcode.WRITE:
-            self.sim.process(self._exec_write(command, done, cid))
+            gen = self._exec_write(command, cid)
         elif command.opcode is Opcode.TRIM:
-            self.sim.process(self._exec_trim(command, done, cid))
+            gen = self._exec_trim(command, cid)
         else:
             raise ValueError(
                 f"conventional device does not support {command.opcode.value}"
             )
-        return done
+        # The process event is the completion event (the generator returns
+        # the Completion) — one event per command instead of two.
+        return self.sim.process(gen)
 
     def precondition(self, utilization: float = 1.0,
                      steady_state_churn: float = 0.0, seed: int = 99) -> None:
@@ -174,8 +175,8 @@ class ConvDevice:
             self.ftl.erase(victim)
 
     # ----------------------------------------------------------------- paths
-    def _complete(self, done, command: Command, status: Status, nbytes: int = 0,
-                  cid: int = 0) -> None:
+    def _complete(self, command: Command, status: Status, nbytes: int = 0,
+                  cid: int = 0) -> Completion:
         completion = Completion(command=command, status=status, completed_at=self.sim.now)
         self.counters.record(completion, nbytes)
         if self.observing and status.ok and command.submitted_at >= 0:
@@ -190,7 +191,7 @@ class ConvDevice:
                 opcode=command.opcode.value, status=status.value,
                 slba=command.slba, nlb=command.nlb,
             )
-        done.succeed(completion)
+        return completion
 
     def _controller_service(self, service_ns: int, cid: int = 0) -> Generator:
         traced = self.tracer.enabled
@@ -213,15 +214,14 @@ class ConvDevice:
         end = start + self.namespace.bytes_of(command.nlb)
         return range(start // page_size, -(-end // page_size))
 
-    def _exec_read(self, command: Command, done, cid: int = 0) -> Generator:
+    def _exec_read(self, command: Command, cid: int = 0) -> Generator:
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
             Opcode.READ, nbytes, command.nlb, self.namespace.block_size
         )
         yield from self._controller_service(service, cid)
         if command.slba + command.nlb > self.namespace.capacity_lbas:
-            self._complete(done, command, Status.LBA_OUT_OF_RANGE, cid=cid)
-            return
+            return self._complete(command, Status.LBA_OUT_OF_RANGE, cid=cid)
         nand_started = self.sim.now if self.tracer.enabled else 0
         reads = []
         for logical in self._pages_spanned(command):
@@ -236,23 +236,24 @@ class ConvDevice:
                                            transfer_bytes=take, cid=cid)
                 )
             )
-        if reads:
+        if len(reads) == 1:
+            yield reads[0]
+        elif reads:
             yield self.sim.all_of(reads)
             if self.tracer.enabled:
                 self.tracer.span("nand", "read.fanout", nand_started,
                                  self.sim.now, track="nand", cid=cid,
                                  dies=len(reads))
-        self._complete(done, command, Status.SUCCESS, nbytes=nbytes, cid=cid)
+        return self._complete(command, Status.SUCCESS, nbytes=nbytes, cid=cid)
 
-    def _exec_write(self, command: Command, done, cid: int = 0) -> Generator:
+    def _exec_write(self, command: Command, cid: int = 0) -> Generator:
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
             Opcode.WRITE, nbytes, command.nlb, self.namespace.block_size
         )
         yield from self._controller_service(service, cid)
         if command.slba + command.nlb > self.namespace.capacity_lbas:
-            self._complete(done, command, Status.LBA_OUT_OF_RANGE, cid=cid)
-            return
+            return self._complete(command, Status.LBA_OUT_OF_RANGE, cid=cid)
         pages = list(self._pages_spanned(command))
         flash_bytes = len(pages) * self.profile.geometry.page_size
         admit_started = self.sim.now if self.tracer.enabled else 0
@@ -266,7 +267,7 @@ class ConvDevice:
         for logical in pages:
             self.sim.process(self._flush_page(logical))
         self._maybe_wake_gc()
-        self._complete(done, command, Status.SUCCESS, nbytes=nbytes, cid=cid)
+        return self._complete(command, Status.SUCCESS, nbytes=nbytes, cid=cid)
 
     def _flush_page(self, logical: int) -> Generator:
         while True:
@@ -285,7 +286,7 @@ class ConvDevice:
         if self.observing:
             self._wbuf_gauge.set(self.buffer.level)
 
-    def _exec_trim(self, command: Command, done, cid: int = 0) -> Generator:
+    def _exec_trim(self, command: Command, cid: int = 0) -> Generator:
         """NVMe deallocate: unmap pages so GC can reclaim them for free.
 
         Like the ZNS reset, trim is metadata work whose cost grows with
@@ -299,8 +300,7 @@ class ConvDevice:
         )
         yield from self._controller_service(service, cid)
         if command.slba + command.nlb > self.namespace.capacity_lbas:
-            self._complete(done, command, Status.LBA_OUT_OF_RANGE, cid=cid)
-            return
+            return self._complete(command, Status.LBA_OUT_OF_RANGE, cid=cid)
         unmapped = 0
         for logical in self._pages_spanned(command):
             if self.ftl.trim(logical):
@@ -313,7 +313,7 @@ class ConvDevice:
             self.tracer.span("firmware", "trim.unmap", map_started,
                              self.sim.now, track="firmware", cid=cid,
                              pages=unmapped)
-        self._complete(done, command, Status.SUCCESS, cid=cid)
+        return self._complete(command, Status.SUCCESS, cid=cid)
 
     # ----------------------------------------------------------------- GC
     def _maybe_wake_gc(self) -> None:

@@ -92,12 +92,19 @@ def build_device(
     config: ExperimentConfig,
     lba_format: LbaFormat = LBA_4K,
     profile: DeviceProfile | None = None,
+    seed_salt: str = "",
 ) -> tuple[Simulator, ZnsDevice]:
-    """A fresh simulator + calibrated ZN540 device."""
+    """A fresh simulator + calibrated ZN540 device.
+
+    ``seed_salt`` namespaces the device's random streams (see
+    :class:`StreamFactory`); sweeps that build one device per point pass
+    the point label so points stay independent of sweep order.
+    """
     sim = Simulator()
     profile = profile or zn540(num_zones=config.num_zones)
     device = ZnsDevice(
-        sim, profile, lba_format=lba_format, streams=StreamFactory(config.seed),
+        sim, profile, lba_format=lba_format,
+        streams=StreamFactory(config.seed, salt=seed_salt),
         tracer=config.tracer, metrics=config.metrics,
     )
     return sim, device

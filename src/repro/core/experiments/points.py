@@ -19,10 +19,12 @@ points out over worker processes and cache them individually:
   this, so the serial path and the parallel path execute *exactly* the
   same per-point code and emit byte-identical tables.
 
-Experiments whose reps share one simulator (obs9, fig5a, fig5b — the
-zone state-machine sweeps reuse a device across occupancy levels) are
-registered as a single point via :func:`single_point_plan`; they still
-parallelize across experiments and benefit from caching.
+Every registered experiment is now a genuine multi-point plan. The zone
+state-machine sweeps (obs9, fig5a, fig5b) historically shared one device
+across occupancy levels; they were decomposed into per-level points
+using device state snapshot/restore and per-point seed salts (see
+:mod:`.state_machine`). :func:`single_point_plan` remains available for
+wrapping monolithic drivers that cannot be decomposed.
 
 Payload protocol (everything JSON-able, so payloads can be cached and
 shipped across process boundaries losslessly):
@@ -171,11 +173,7 @@ def experiment_plans() -> dict[str, ExperimentPlan]:
     from .request_size import FIG3_PLAN
     from .reset_interference import FIG7_PLAN
     from .scalability import FIG4A_PLAN, FIG4B_PLAN, FIG4C_PLAN
-    from .state_machine import (
-        run_fig5a_reset,
-        run_fig5b_finish,
-        run_obs9_open_close,
-    )
+    from .state_machine import FIG5A_PLAN, FIG5B_PLAN, OBS9_PLAN
 
     plans = [
         FIG2A_PLAN,
@@ -184,9 +182,9 @@ def experiment_plans() -> dict[str, ExperimentPlan]:
         FIG4A_PLAN,
         FIG4B_PLAN,
         FIG4C_PLAN,
-        single_point_plan("obs9", run_obs9_open_close),
-        single_point_plan("fig5a", run_fig5a_reset),
-        single_point_plan("fig5b", run_fig5b_finish),
+        OBS9_PLAN,
+        FIG5A_PLAN,
+        FIG5B_PLAN,
         FIG6_PLAN,
         OBS11_PLAN,
         FIG7_PLAN,

@@ -1,0 +1,143 @@
+"""``repro bench``: wall-clock benchmarking of the experiment suite.
+
+Runs experiments through the execution engine and distills the
+:class:`~repro.exec.engine.ExecutionReport` into a small JSON document
+(``BENCH_sim.json`` by convention) with per-experiment wall-clock,
+simulated-event throughput, and the cache hit rate:
+
+* ``events_per_s`` — dispatched simulation events per second of point
+  compute time. This is the engine's figure of merit: it is insensitive
+  to how many points a sweep has and (unlike wall seconds) comparable
+  across runs that executed different subsets.
+* ``wall_s`` per experiment is *busy* seconds — the sum of per-point
+  compute — not elapsed time, so the numbers mean the same thing at any
+  ``--jobs`` count.
+
+A committed benchmark file doubles as a regression gate:
+:func:`compare` checks a fresh run's aggregate ``events_per_s`` against
+the baseline and reports a failure when it drops by more than the
+allowed fraction (CI runs this with a generous margin; shared runners
+are noisy).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Any, Callable, Optional
+
+from ..core.experiments.common import ExperimentConfig
+from .engine import ExecutionReport, execute_experiments
+
+__all__ = ["BENCH_SCHEMA", "QUICK_IDS", "run_bench", "compare", "render",
+           "load"]
+
+#: Bump when the BENCH_sim.json layout changes.
+BENCH_SCHEMA = 1
+
+#: The ``--quick`` subset: the cheap latency/throughput sweeps that
+#: exercise every stack (SPDK, io_uring ± scheduler) and every opcode
+#: family without the minutes-long interference timelines.
+QUICK_IDS = ["fig2a", "fig3", "fig4a"]
+
+
+def _experiment_rows(report: ExecutionReport) -> dict[str, dict[str, Any]]:
+    rows: dict[str, dict[str, Any]] = {}
+    for record in report.points:
+        row = rows.setdefault(record.experiment_id, {
+            "points": 0, "cache_hits": 0, "wall_s": 0.0, "events": 0,
+        })
+        row["points"] += 1
+        if record.source == "cache":
+            row["cache_hits"] += 1
+        else:
+            row["wall_s"] += record.elapsed_s
+            row["events"] += record.events
+    for row in rows.values():
+        row["wall_s"] = round(row["wall_s"], 3)
+        row["events_per_s"] = round(
+            row["events"] / row["wall_s"] if row["wall_s"] > 0 else 0.0, 1
+        )
+    return rows
+
+
+def run_bench(
+    ids: Optional[list[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, Any]:
+    """Benchmark the given experiments; returns the BENCH document."""
+    _results, report = execute_experiments(
+        ids, config, jobs=jobs, cache_dir=cache_dir, progress=progress,
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "python": platform.python_version(),
+        "jobs": report.jobs,
+        "experiment_ids": sorted({r.experiment_id for r in report.points}),
+        "points": len(report.points),
+        "cache_hits": report.cache_hits,
+        "cache_hit_rate": round(report.hit_rate, 4),
+        "wall_s": round(report.wall_s, 3),
+        "events": report.events,
+        "events_per_s": round(report.events_per_s, 1),
+        "experiments": _experiment_rows(report),
+    }
+
+
+def compare(current: dict[str, Any], baseline: dict[str, Any],
+            max_regression: float = 0.20) -> list[str]:
+    """Failure messages if ``current`` regressed past the baseline.
+
+    The gate is the aggregate ``events_per_s``; per-experiment rates are
+    too noisy to fail on, so they are reported (not enforced) by the
+    CLI. Runs with no freshly-executed points (100% cache hits) carry
+    no timing signal and never fail the gate.
+    """
+    failures: list[str] = []
+    base_rate = float(baseline.get("events_per_s") or 0.0)
+    cur_rate = float(current.get("events_per_s") or 0.0)
+    if base_rate <= 0.0 or cur_rate <= 0.0:
+        return failures
+    floor = base_rate * (1.0 - max_regression)
+    if cur_rate < floor:
+        failures.append(
+            f"events_per_s regressed: {cur_rate:.0f} < "
+            f"{floor:.0f} (baseline {base_rate:.0f} "
+            f"- {max_regression:.0%} allowance)"
+        )
+    return failures
+
+
+def render(doc: dict[str, Any], baseline: Optional[dict[str, Any]] = None,
+           file=sys.stdout) -> None:
+    """Human-readable summary of a BENCH document (plus baseline deltas)."""
+    print(f"[bench] {doc['points']} points, jobs={doc['jobs']}, "
+          f"wall {doc['wall_s']:.1f}s, "
+          f"{doc['events']} events @ {doc['events_per_s']:.0f} ev/s, "
+          f"cache hit rate {doc['cache_hit_rate']:.0%}", file=file)
+    base_rows = (baseline or {}).get("experiments", {})
+    for exp_id, row in sorted(doc["experiments"].items()):
+        line = (f"[bench]   {exp_id}: {row['points']} points, "
+                f"{row['wall_s']:.2f}s busy, "
+                f"{row['events_per_s']:.0f} ev/s")
+        base = base_rows.get(exp_id, {})
+        base_rate = float(base.get("events_per_s") or 0.0)
+        if base_rate > 0.0 and row["events_per_s"] > 0.0:
+            delta = row["events_per_s"] / base_rate - 1.0
+            line += f" ({delta:+.0%} vs baseline)"
+        print(line, file=file)
+
+
+def load(path: str) -> dict[str, Any]:
+    """Read a BENCH document, rejecting other schemas."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path} has schema {doc.get('schema')!r}, expected {BENCH_SCHEMA}"
+        )
+    return doc

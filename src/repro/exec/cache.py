@@ -16,6 +16,19 @@ Entries are small JSON files under ``<dir>/<key[:2]>/<key>.json``,
 written atomically (temp file + rename), so a cache directory doubles
 as a crash-safe checkpoint: re-running an interrupted sweep replays the
 finished points from disk and only simulates the rest.
+
+Because the code version participates in the key, every source change
+orphans the previous generation of entries on disk;
+:meth:`ResultCache.prune` (``repro cache prune``) deletes them. Each
+entry records the code version it was built under so pruning never has
+to guess.
+
+Next to the entries lives a **duration sidecar** (``durations.json``)
+keyed *without* the code version: it remembers how long each point took
+to simulate on this machine. The execution engine sorts cache misses
+longest-first from these hints, which minimizes parallel makespan (the
+classic LPT heuristic) — and because the hints survive code changes,
+the very first run after an edit is already well-scheduled.
 """
 
 from __future__ import annotations
@@ -61,6 +74,7 @@ class ResultCache:
         self.version = version if version is not None else code_version()
         self.hits = 0
         self.misses = 0
+        self._durations: Optional[dict[str, float]] = None
 
     # -- keying ----------------------------------------------------------
     def key(self, experiment_id: str, params: dict, config_fields: dict,
@@ -95,13 +109,24 @@ class ResultCache:
         return entry
 
     def store(self, key: str, entry: dict[str, Any]) -> None:
-        """Atomically persist one entry (temp file + rename)."""
+        """Atomically persist one entry (temp file + rename).
+
+        The entry is stamped with the code version it was built under,
+        so :meth:`prune` can later identify orphans without re-deriving
+        their keys.
+        """
+        entry = dict(entry)
+        entry.setdefault("code", self.version)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, entry)
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: Any) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, sort_keys=True)
+                json.dump(payload, fh, sort_keys=True)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -109,3 +134,88 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    # -- pruning ---------------------------------------------------------
+    def prune(self, dry_run: bool = False) -> tuple[list[Path], int]:
+        """Delete entries from older code versions (or corrupt files).
+
+        Returns ``(stale, kept)`` where ``stale`` lists the entry paths
+        that were deleted (or, with ``dry_run``, *would* be) and
+        ``kept`` counts the entries from the current code version. The
+        duration sidecar is never pruned — its whole point is surviving
+        code changes.
+        """
+        stale: list[Path] = []
+        kept = 0
+        if not self.directory.is_dir():
+            return stale, kept
+        for path in sorted(self.directory.glob("??/*.json")):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    entry = json.load(fh)
+                current = entry.get("code") == self.version
+            except (json.JSONDecodeError, OSError):
+                current = False
+            if current:
+                kept += 1
+                continue
+            stale.append(path)
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        if not dry_run:
+            # Drop now-empty shard directories so the tree stays tidy.
+            for shard in self.directory.glob("??"):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return stale, kept
+
+    # -- duration hints --------------------------------------------------
+    def hint_key(self, experiment_id: str, params: dict,
+                 config_fields: dict) -> str:
+        """Sidecar key: like :meth:`key` but code-version-independent."""
+        blob = json.dumps(
+            {
+                "experiment": experiment_id,
+                "params": params,
+                "config": config_fields,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _load_durations(self) -> dict[str, float]:
+        if self._durations is None:
+            try:
+                with open(self.directory / "durations.json",
+                          encoding="utf-8") as fh:
+                    raw = json.load(fh)
+                self._durations = {
+                    k: float(v) for k, v in raw.items()
+                    if isinstance(v, (int, float))
+                }
+            except (FileNotFoundError, json.JSONDecodeError, OSError,
+                    AttributeError):
+                self._durations = {}
+        return self._durations
+
+    def duration_hint(self, hint_key: str) -> Optional[float]:
+        """Last known wall-clock seconds for this point, if any."""
+        return self._load_durations().get(hint_key)
+
+    def record_duration(self, hint_key: str, elapsed_s: float) -> None:
+        """Remember how long a point took (in-memory until :meth:`flush_durations`)."""
+        self._load_durations()[hint_key] = round(float(elapsed_s), 6)
+
+    def flush_durations(self) -> None:
+        """Atomically persist the duration sidecar."""
+        if self._durations is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(self.directory / "durations.json",
+                           self._durations)

@@ -36,6 +36,7 @@ from ..core.experiments.points import (
     point_label,
 )
 from ..core.results import ExperimentResult, render_table
+from ..sim.engine import events_total
 from .cache import ResultCache
 from .pool import DEFAULT_POINT_TIMEOUT_S, WorkerPool
 
@@ -80,6 +81,9 @@ class PointRecord:
     elapsed_s: float
     attempts: int = 1
     error: Optional[str] = None
+    #: Simulated events dispatched while computing this point (0 when
+    #: the stat predates the field, e.g. old cache entries).
+    events: int = 0
 
 
 @dataclass
@@ -92,6 +96,21 @@ class ExecutionReport:
     cache_hits: int = 0
     executed: int = 0
     failed: int = 0
+
+    @property
+    def events(self) -> int:
+        """Simulated events dispatched by the freshly-executed points."""
+        return sum(r.events for r in self.points if r.source == "run")
+
+    @property
+    def events_per_s(self) -> float:
+        """Aggregate simulation rate of the freshly-executed points."""
+        busy = sum(r.elapsed_s for r in self.points if r.source == "run")
+        return self.events / busy if busy > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / len(self.points) if self.points else 0.0
 
     def summary(self) -> str:
         total = len(self.points)
@@ -113,13 +132,19 @@ class ExecutionReport:
                 "source": record.source,
                 "attempts": record.attempts,
                 "wall_s": record.elapsed_s,
+                "events": record.events,
+                "kev_per_s": (
+                    record.events / record.elapsed_s / 1e3
+                    if record.events and record.elapsed_s > 0 else 0.0
+                ),
             }
             for record in sorted(
                 self.points, key=lambda r: r.elapsed_s, reverse=True
             )
         ]
         return render_table(
-            ["experiment", "point", "source", "attempts", "wall_s"],
+            ["experiment", "point", "source", "attempts", "wall_s",
+             "events", "kev_per_s"],
             rows,
             title=f"[exec] per-point wall clock ({self.summary()[7:]})",
         )
@@ -152,6 +177,8 @@ class _Point:
     params: dict
     label: str
     cache_key: Optional[str] = None
+    hint_key: Optional[str] = None
+    hint_s: Optional[float] = None
 
 
 def _run_point_inline(plans, task: dict, config: ExperimentConfig) -> dict:
@@ -159,6 +186,7 @@ def _run_point_inline(plans, task: dict, config: ExperimentConfig) -> dict:
     from ..obs.metrics import MetricsRegistry
 
     started = time.perf_counter()
+    events_before = events_total()
     try:
         run_config = config
         metrics = None
@@ -172,6 +200,7 @@ def _run_point_inline(plans, task: dict, config: ExperimentConfig) -> dict:
             "payload": payload,
             "metrics": metrics.snapshot() if metrics is not None else None,
             "elapsed_s": time.perf_counter() - started,
+            "events": events_total() - events_before,
             "attempts": 1,
         }
     except Exception:
@@ -242,6 +271,9 @@ def execute_experiments(
             point.cache_key = cache.key(
                 point.experiment_id, point.params, cfg_fields, collect_metrics
             )
+            point.hint_key = cache.hint_key(
+                point.experiment_id, point.params, cfg_fields
+            )
             entry = cache.load(point.cache_key)
             if entry is not None:
                 payloads[point.experiment_id][point.index] = entry["payload"]
@@ -249,9 +281,11 @@ def execute_experiments(
                 records[point.task_id] = PointRecord(
                     point.experiment_id, point.label, "cache",
                     entry.get("elapsed_s", 0.0),
+                    events=int(entry.get("events", 0)),
                 )
                 report.cache_hits += 1
                 continue
+            point.hint_s = cache.duration_hint(point.hint_key)
         misses.append(point)
 
     total = len(points)
@@ -259,7 +293,18 @@ def execute_experiments(
         f"{report.cache_hits} cached, {len(misses)} to run "
         f"(jobs={jobs})")
 
-    # 3. Run the cache misses — fanned out or inline.
+    # 3. Run the cache misses — fanned out or inline. Dispatch order is
+    #    longest-first from the duration sidecar (LPT minimizes parallel
+    #    makespan: a multi-second point started last would tail the whole
+    #    sweep). Points with no hint sort first — an unknown duration
+    #    might be the longest — and the sort is stable, so a cold cache
+    #    degrades to plain plan order (FIFO). Results are assembled in
+    #    plan order regardless, so scheduling never changes output.
+    if cache is not None and any(p.hint_s is not None for p in misses):
+        misses = sorted(
+            misses,
+            key=lambda p: -(p.hint_s if p.hint_s is not None else float("inf")),
+        )
     tasks = [
         {
             "task_id": point.task_id,
@@ -315,6 +360,7 @@ def execute_experiments(
         records[point.task_id] = PointRecord(
             point.experiment_id, point.label, "run", reply["elapsed_s"],
             attempts=reply.get("attempts", 1),
+            events=int(reply.get("events", 0)),
         )
         report.executed += 1
         if cache is not None:
@@ -324,8 +370,12 @@ def execute_experiments(
                 "payload": payload,
                 "metrics": metrics_snapshot,
                 "elapsed_s": reply["elapsed_s"],
+                "events": int(reply.get("events", 0)),
             })
+            cache.record_duration(point.hint_key, reply["elapsed_s"])
 
+    if cache is not None and report.executed:
+        cache.flush_durations()
     report.points = [records[point.task_id] for point in points]
     report.wall_s = time.monotonic() - started
     if failures:

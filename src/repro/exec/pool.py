@@ -15,7 +15,7 @@ Task / reply protocol (everything picklable and JSON-able)::
              "config": dict, "collect_metrics": bool}
     reply = {"task_id": int, "ok": True, "payload": dict,
              "metrics": dict | None, "elapsed_s": float,
-             "attempts": int}
+             "events": int, "attempts": int}
           | {"task_id": int, "ok": False, "error": str,
              "attempts": int}
 
@@ -45,6 +45,7 @@ def _worker_main(conn: Connection) -> None:
     from ..core.experiments.common import ExperimentConfig
     from ..core.experiments.points import experiment_plans
     from ..obs.metrics import MetricsRegistry
+    from ..sim.engine import events_total
 
     plans = experiment_plans()
     while True:
@@ -55,6 +56,7 @@ def _worker_main(conn: Connection) -> None:
         if task is None:
             return
         started = time.perf_counter()
+        events_before = events_total()
         try:
             config = ExperimentConfig(**task["config"])
             metrics = None
@@ -69,6 +71,7 @@ def _worker_main(conn: Connection) -> None:
                 "payload": payload,
                 "metrics": metrics.snapshot() if metrics is not None else None,
                 "elapsed_s": time.perf_counter() - started,
+                "events": events_total() - events_before,
             }
         except BaseException:
             reply = {

@@ -26,9 +26,13 @@ class Status(Enum):
     TOO_MANY_OPEN_ZONES = "too_many_open_zones"
     INVALID_ZONE_STATE_TRANSITION = "invalid_zone_state_transition"
 
-    @property
-    def ok(self) -> bool:
-        return self is Status.SUCCESS
+
+# ``status.ok`` sits on every per-command hot path; a plain member
+# attribute avoids a property call (enum members accept attributes, and
+# pickling by name keeps this intact across worker processes).
+for _status in Status:
+    _status.ok = _status is Status.SUCCESS
+del _status
 
 
 class StatusError(RuntimeError):

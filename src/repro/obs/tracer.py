@@ -48,7 +48,7 @@ PH_COUNTER = "C"   # a sampled counter value
 PH_METADATA = "M"  # process/thread naming (emitted on export only)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded event.
 
@@ -144,22 +144,25 @@ class Tracer:
         if end_ns < start_ns:
             raise ValueError(f"span {name!r} ends before it starts "
                              f"({start_ns}..{end_ns})")
-        self._append(TraceEvent(name=name, cat=cat, ph=PH_COMPLETE,
-                                ts=start_ns, dur=end_ns - start_ns,
-                                track=track, args=args))
+        self._events.append(TraceEvent(name=name, cat=cat, ph=PH_COMPLETE,
+                                       ts=start_ns, dur=end_ns - start_ns,
+                                       track=track, args=args))
+        self._event_pids.append(self._cur_pid)
 
     def instant(self, cat: str, name: str, ts_ns: int,
                 track: str = "main", **args: Any) -> None:
         """Record a point event (zone transition, GC wakeup, ...)."""
-        self._append(TraceEvent(name=name, cat=cat, ph=PH_INSTANT,
-                                ts=ts_ns, track=track, args=args))
+        self._events.append(TraceEvent(name=name, cat=cat, ph=PH_INSTANT,
+                                       ts=ts_ns, track=track, args=args))
+        self._event_pids.append(self._cur_pid)
 
     def counter(self, name: str, ts_ns: int, value: float,
                 track: str = "counters") -> None:
         """Record a sampled counter value (queue depth, buffer fill, ...)."""
-        self._append(TraceEvent(name=name, cat="counter", ph=PH_COUNTER,
-                                ts=ts_ns, track=track,
-                                args={"value": value}))
+        self._events.append(TraceEvent(name=name, cat="counter", ph=PH_COUNTER,
+                                       ts=ts_ns, track=track,
+                                       args={"value": value}))
+        self._event_pids.append(self._cur_pid)
 
     # -- export ----------------------------------------------------------
     def write_jsonl(self, path_or_file) -> int:

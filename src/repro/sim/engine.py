@@ -12,13 +12,34 @@ latencies this package models. Use the :func:`us`, :func:`ms` and
 :func:`sec` helpers to construct durations.
 
 Determinism: events scheduled for the same timestamp fire in scheduling
-order (a monotonically increasing sequence number breaks ties), so a run
-with the same seed and inputs always produces the same trace.
+order, so a run with the same seed and inputs always produces the same
+trace. Two structures maintain that order (DESIGN.md §10):
+
+* **Immediate events** (``succeed``/``fail`` triggers, zero-delay
+  timeouts, process bootstraps) go to a FIFO *ready deque* — no heap
+  entry, no sequence number. The deque position *is* the tie-break.
+* **Delayed events** go to a heap of ``(when, seq, event)`` entries; the
+  monotonically increasing ``seq`` breaks same-timestamp ties.
+
+The split is order-preserving because simulated time only moves forward:
+every heap entry due at time ``T`` was scheduled strictly before the
+clock reached ``T`` (delays are >= 1 ns), while every ready event due at
+``T`` was triggered *at* ``T`` — so draining the heap's ``T`` entries
+before the deque replays the exact global scheduling order.
+
+Allocation discipline: :class:`Timeout` and the engine's internal wakeup
+:class:`Event` objects are the two most-allocated types; the simulator
+keeps small per-instance freelists and recycles an instance only when
+``sys.getrefcount`` proves the engine holds the sole reference, so user
+code that retains an event (completion handles, condition children) can
+never observe a recycled object.
 """
 
 from __future__ import annotations
 
-import heapq
+import sys
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -33,12 +54,31 @@ __all__ = [
     "Interrupt",
     "SimulationError",
     "Simulator",
+    "events_total",
 ]
 
 #: Number of nanoseconds per microsecond/millisecond/second.
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_S = 1_000_000_000
+
+#: Cap on each per-simulator freelist (Timeouts and wakeup Events).
+_POOL_MAX = 512
+
+#: Events dispatched by every Simulator in this process (read via
+#: :func:`events_total`; the execution engine reports per-point deltas).
+_EVENTS_TOTAL = 0
+
+_getrefcount = getattr(sys, "getrefcount", None)
+#: Refcount of an object held only by the dispatch loop: the ``event``
+#: local plus the getrefcount argument. Pooling is disabled on runtimes
+#: without refcount semantics (non-CPython).
+_SOLE_REF = 2
+
+
+def events_total() -> int:
+    """Process-wide count of dispatched simulation events."""
+    return _EVENTS_TOTAL
 
 
 def us(value: float) -> int:
@@ -122,7 +162,7 @@ class Event:
             raise SimulationError("event already triggered")
         self._value = value
         self._triggered = True
-        self.sim._push(self)
+        self.sim._ready.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -133,14 +173,25 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
         self._triggered = True
-        self.sim._push(self)
+        self.sim._ready.append(self)
         return self
 
     def _run_callbacks(self) -> None:
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
+        callbacks = self.callbacks
+        if len(callbacks) == 1:
+            # Single-waiter fast path (the overwhelmingly common case:
+            # one process blocked on one event): dispatch without
+            # swapping in a fresh list. Clearing before the call keeps
+            # the no-callbacks-after-processing semantics of the slow
+            # path; a re-entrant append leaves the event non-recyclable.
+            callback = callbacks[0]
+            callbacks.clear()
             callback(self)
+        elif callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
 
 class Timeout(Event):
@@ -167,17 +218,18 @@ class Process(Event):
     completion.
     """
 
-    __slots__ = ("generator", "_waiting_on", "name")
+    __slots__ = ("generator", "_waiting_on", "name", "_resume_cb", "_send")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        # Bind once: a fresh bound method per yield is pure allocator churn.
+        self._resume_cb = self._resume
+        self._send = generator.send
         # Bootstrap: resume the generator at the current time.
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        sim._wake(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -194,21 +246,42 @@ class Process(Event):
         target = self._waiting_on
         if target is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
             self._waiting_on = None
-        wakeup = Event(self.sim)
-        wakeup.callbacks.append(lambda _: self._throw(Interrupt(cause)))
-        wakeup.succeed()
+        self.sim._wake(lambda _: self._throw(Interrupt(cause)))
 
     # -- internal --------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        # One resume per yield: duplicates _advance's body to spare a
+        # Python call on the single hottest code path in the kernel.
         self._waiting_on = None
         if event._exception is not None:
-            self._throw(event._exception)
+            self._advance(self.generator.throw, event._exception)
+            return
+        try:
+            target = self._send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate into event
+            self.fail(error)
+            return
+        if type(target) is Timeout and not target._processed:
+            self._waiting_on = target
+            target.callbacks.append(self._resume_cb)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        if target._processed:
+            self._waiting_on = self.sim._wake(
+                self._resume_cb, target._value, target._exception
+            )
         else:
-            self._advance(self.generator.send, event._value)
+            target.callbacks.append(self._resume_cb)
+            self._waiting_on = target
 
     def _throw(self, exc: BaseException) -> None:
         self._advance(self.generator.throw, exc)
@@ -227,15 +300,11 @@ class Process(Event):
             return
         if target._processed:
             # Already completed: resume immediately (same timestep).
-            wakeup = Event(self.sim)
-            wakeup._value = target._value
-            wakeup._exception = target._exception
-            wakeup.callbacks.append(self._resume)
-            wakeup._triggered = True
-            self.sim._push(wakeup)
-            self._waiting_on = wakeup
+            self._waiting_on = self.sim._wake(
+                self._resume_cb, target._value, target._exception
+            )
         else:
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._resume_cb)
             self._waiting_on = target
 
 
@@ -307,18 +376,54 @@ class AllOf(_Condition):
             self.succeed(self._collect())
 
 
+class _ScheduledCall:
+    """Deferred zero-argument call bound to a result event (see
+    :meth:`Simulator.schedule`)."""
+
+    __slots__ = ("handle", "callback")
+
+    def __init__(self, handle: Event, callback: Callable[[], Any]):
+        self.handle = handle
+        self.callback = callback
+
+    def __call__(self, _event: Event) -> None:
+        try:
+            value = self.callback()
+        except BaseException as error:  # noqa: BLE001 - delivered to waiters
+            self.handle.fail(error)
+        else:
+            self.handle.succeed(value)
+
+
 class Simulator:
-    """The discrete-event engine: a clock plus a time-ordered event heap."""
+    """The discrete-event engine: a clock, a ready deque, and a heap."""
+
+    __slots__ = (
+        "now",
+        "_heap",
+        "_ready",
+        "_sequence",
+        "_timeout_pool",
+        "_event_pool",
+        "_events",
+    )
 
     def __init__(self):
-        self._now = 0
+        #: Current simulated time in nanoseconds. A plain attribute (not a
+        #: property) because every model layer reads it on the hot path;
+        #: treat it as read-only — only the dispatch loops advance it.
+        self.now = 0
         self._heap: list[tuple[int, int, Event]] = []
+        self._ready: deque[Event] = deque()
         self._sequence = 0
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
+        self._events = 0
 
     @property
-    def now(self) -> int:
-        """Current simulated time in nanoseconds."""
-        return self._now
+    def events_processed(self) -> int:
+        """Events dispatched by this simulator so far."""
+        return self._events
 
     # -- factories -------------------------------------------------------
     def event(self) -> Event:
@@ -327,7 +432,24 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` nanoseconds from now."""
-        return Timeout(self, delay, value)
+        pool = self._timeout_pool
+        if not pool:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        timeout = pool.pop()
+        delay = int(delay)
+        timeout.delay = delay
+        timeout._value = value
+        timeout._exception = None
+        timeout._processed = False
+        timeout._triggered = True
+        if delay:
+            self._sequence += 1
+            heappush(self._heap, (self.now + delay, self._sequence, timeout))
+        else:
+            self._ready.append(timeout)
+        return timeout
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a generator as a process; returns its completion event."""
@@ -341,25 +463,83 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------
     def _push(self, event: Event, delay: int = 0) -> None:
-        self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        if delay:
+            self._sequence += 1
+            heappush(self._heap, (self.now + delay, self._sequence, event))
+        else:
+            self._ready.append(event)
 
-    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
-        """Run ``callback`` after ``delay`` nanoseconds."""
-        event = self.timeout(delay)
-        event.callbacks.append(lambda _: callback())
+    def _wake(self, callback: Callable[[Event], None], value: Any = None,
+              exception: Optional[BaseException] = None) -> Event:
+        """An already-triggered event firing ``callback`` at the current
+        time (pooled: this is the engine's internal wakeup allocation)."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = value
+            event._exception = exception
+            event._processed = False
+        else:
+            event = Event(self)
+            event._value = value
+            event._exception = exception
+        event._triggered = True
+        event.callbacks.append(callback)
+        self._ready.append(event)
         return event
 
+    def schedule(self, delay: int, callback: Callable[[], Any]) -> Event:
+        """Run ``callback`` after ``delay`` nanoseconds.
+
+        The returned event fires with the callback's return value, or —
+        if the callback raises — fails via :meth:`Event.fail`, so the
+        error reaches whoever waits on the handle instead of unwinding
+        the dispatch loop mid-step with half the timestep unprocessed.
+        """
+        handle = Event(self)
+        self.timeout(delay).callbacks.append(_ScheduledCall(handle, callback))
+        return handle
+
     # -- execution -------------------------------------------------------
+    def _dispose(self, event: Event) -> None:
+        """Recycle ``event`` if the engine provably holds the only
+        reference (and nothing re-attached a callback)."""
+        if _getrefcount is None or event.callbacks:
+            return
+        # Expected refs: the caller's local + getrefcount's argument +
+        # this frame's parameter binding.
+        if _getrefcount(event) != _SOLE_REF + 1:
+            return
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+        elif cls is Event:
+            pool = self._event_pool
+        else:
+            return
+        if len(pool) < _POOL_MAX:
+            pool.append(event)
+
     def step(self) -> None:
         """Process the single next event."""
-        if not self._heap:
+        global _EVENTS_TOTAL
+        heap = self._heap
+        ready = self._ready
+        if heap and heap[0][0] == self.now:
+            # Due now, and scheduled (strictly) before anything in the
+            # ready deque — see the ordering note in the module docstring.
+            event = heappop(heap)[2]
+        elif ready:
+            event = ready.popleft()
+        elif heap:
+            self.now = heap[0][0]
+            event = heappop(heap)[2]
+        else:
             raise SimulationError("no scheduled events")
-        when, _, event = heapq.heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("event scheduled in the past")
-        self._now = when
         event._run_callbacks()
+        self._events += 1
+        _EVENTS_TOTAL += 1
+        self._dispose(event)
 
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run until the heap empties, a deadline passes, or an event fires.
@@ -368,21 +548,148 @@ class Simulator:
         :class:`Event`; when an event is given its value is returned.
         """
         if isinstance(until, Event):
-            stop = until
+            return self._run_until_event(until)
+        return self._run_until_time(until)
+
+    def _run_until_event(self, stop: Event) -> Any:
+        global _EVENTS_TOTAL
+        heap = self._heap
+        ready = self._ready
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        getrefcount = _getrefcount
+        dispatched = 0
+        try:
             while not stop._processed:
-                if not self._heap:
+                # Same-timestamp batch (see _run_until_time): heap entries
+                # due now all predate anything in the ready deque, and no
+                # new heap-at-now entries can appear once the deque starts
+                # draining — so each batch peeks the heap head only once.
+                now = self.now
+                while heap and heap[0][0] == now:
+                    event = heappop(heap)[2]
+                    # Inlined Event._run_callbacks (a call per event adds up).
+                    event._processed = True
+                    cbs = event.callbacks
+                    if len(cbs) == 1:
+                        cb = cbs[0]
+                        cbs.clear()
+                        cb(event)
+                    elif cbs:
+                        event.callbacks = []
+                        for cb in cbs:
+                            cb(event)
+                    dispatched += 1
+                    if getrefcount is not None and not event.callbacks \
+                            and getrefcount(event) == _SOLE_REF:
+                        cls = event.__class__
+                        if cls is Timeout:
+                            if len(timeout_pool) < _POOL_MAX:
+                                timeout_pool.append(event)
+                        elif cls is Event and len(event_pool) < _POOL_MAX:
+                            event_pool.append(event)
+                    if stop._processed:
+                        return stop.value
+                while ready:
+                    event = ready.popleft()
+                    event._processed = True
+                    cbs = event.callbacks
+                    if len(cbs) == 1:
+                        cb = cbs[0]
+                        cbs.clear()
+                        cb(event)
+                    elif cbs:
+                        event.callbacks = []
+                        for cb in cbs:
+                            cb(event)
+                    dispatched += 1
+                    if getrefcount is not None and not event.callbacks \
+                            and getrefcount(event) == _SOLE_REF:
+                        cls = event.__class__
+                        if cls is Timeout:
+                            if len(timeout_pool) < _POOL_MAX:
+                                timeout_pool.append(event)
+                        elif cls is Event and len(event_pool) < _POOL_MAX:
+                            event_pool.append(event)
+                    if stop._processed:
+                        return stop.value
+                if not heap:
                     raise SimulationError(
                         f"simulation ran out of events before {stop!r} fired"
                     )
-                self.step()
+                self.now = heap[0][0]
             return stop.value
+        finally:
+            self._events += dispatched
+            _EVENTS_TOTAL += dispatched
+
+    def _run_until_time(self, until: Optional[int]) -> None:
+        global _EVENTS_TOTAL
         deadline = None if until is None else int(until)
-        while self._heap:
-            when = self._heap[0][0]
-            if deadline is not None and when > deadline:
-                self._now = deadline
-                return None
-            self.step()
-        if deadline is not None:
-            self._now = max(self._now, deadline)
+        heap = self._heap
+        ready = self._ready
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        getrefcount = _getrefcount
+        dispatched = 0
+        try:
+            while True:
+                # Same-timestamp batch: drain every heap entry due now
+                # (all scheduled before anything currently in the ready
+                # deque), then the deque, which may grow as it drains.
+                now = self.now
+                while heap and heap[0][0] == now:
+                    event = heappop(heap)[2]
+                    event._processed = True
+                    cbs = event.callbacks
+                    if len(cbs) == 1:
+                        cb = cbs[0]
+                        cbs.clear()
+                        cb(event)
+                    elif cbs:
+                        event.callbacks = []
+                        for cb in cbs:
+                            cb(event)
+                    dispatched += 1
+                    if getrefcount is not None and not event.callbacks \
+                            and getrefcount(event) == _SOLE_REF:
+                        cls = event.__class__
+                        if cls is Timeout:
+                            if len(timeout_pool) < _POOL_MAX:
+                                timeout_pool.append(event)
+                        elif cls is Event and len(event_pool) < _POOL_MAX:
+                            event_pool.append(event)
+                while ready:
+                    event = ready.popleft()
+                    event._processed = True
+                    cbs = event.callbacks
+                    if len(cbs) == 1:
+                        cb = cbs[0]
+                        cbs.clear()
+                        cb(event)
+                    elif cbs:
+                        event.callbacks = []
+                        for cb in cbs:
+                            cb(event)
+                    dispatched += 1
+                    if getrefcount is not None and not event.callbacks \
+                            and getrefcount(event) == _SOLE_REF:
+                        cls = event.__class__
+                        if cls is Timeout:
+                            if len(timeout_pool) < _POOL_MAX:
+                                timeout_pool.append(event)
+                        elif cls is Event and len(event_pool) < _POOL_MAX:
+                            event_pool.append(event)
+                if not heap:
+                    break
+                when = heap[0][0]
+                if deadline is not None and when > deadline:
+                    self.now = deadline
+                    return None
+                self.now = when
+        finally:
+            self._events += dispatched
+            _EVENTS_TOTAL += dispatched
+        if deadline is not None and deadline > self.now:
+            self.now = deadline
         return None

@@ -18,6 +18,7 @@ commands over background ``reset`` metadata work (paper §III-G).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Optional
 
 from .engine import Event, SimulationError, Simulator
@@ -37,11 +38,15 @@ class Request(Event):
         self._order = 0
 
     def __lt__(self, other: "Request") -> bool:
-        return (self.priority, self._order) < (other.priority, other._order)
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self._order < other._order
 
 
 class Resource:
     """A capacity-limited server with a priority/FIFO request queue."""
+
+    __slots__ = ("sim", "capacity", "name", "_users", "_queue", "_counter")
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -70,8 +75,13 @@ class Resource:
         req = Request(self, priority)
         self._counter += 1
         req._order = self._counter
-        heapq.heappush(self._queue, req)
-        self._grant()
+        if not self._queue and len(self._users) < self.capacity:
+            # Free slot and nobody ahead: grant without touching the heap.
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            heapq.heappush(self._queue, req)
+            self._grant()
         return req
 
     def release(self, request: Request) -> None:
@@ -105,6 +115,8 @@ class _ContainerOp(Event):
 class Container:
     """A byte reservoir with blocking put (when full) and get (when empty)."""
 
+    __slots__ = ("sim", "capacity", "name", "_level", "_puts", "_gets")
+
     def __init__(self, sim: Simulator, capacity: int, init: int = 0, name: str = ""):
         if capacity <= 0:
             raise SimulationError("container capacity must be positive")
@@ -114,8 +126,8 @@ class Container:
         self.capacity = capacity
         self.name = name
         self._level = init
-        self._puts: list[_ContainerOp] = []
-        self._gets: list[_ContainerOp] = []
+        self._puts: deque[_ContainerOp] = deque()
+        self._gets: deque[_ContainerOp] = deque()
 
     @property
     def level(self) -> int:
@@ -143,17 +155,33 @@ class Container:
         self._settle()
         return op
 
+    def force_level(self, level: int) -> None:
+        """Fixture: set the level directly, bypassing put/get semantics.
+
+        Only legal while no put or get is waiting — used by device
+        state restore to reinstate stable buffered residuals.
+        """
+        if not 0 <= level <= self.capacity:
+            raise SimulationError(
+                f"force_level {level} out of range 0..{self.capacity}"
+            )
+        if self._puts or self._gets:
+            raise SimulationError(
+                "force_level while put/get operations are waiting"
+            )
+        self._level = level
+
     def _settle(self) -> None:
         progressed = True
         while progressed:
             progressed = False
             if self._puts and self._level + self._puts[0].amount <= self.capacity:
-                op = self._puts.pop(0)
+                op = self._puts.popleft()
                 self._level += op.amount
                 op.succeed(op.amount)
                 progressed = True
             if self._gets and self._level >= self._gets[0].amount:
-                op = self._gets.pop(0)
+                op = self._gets.popleft()
                 self._level -= op.amount
                 op.succeed(op.amount)
                 progressed = True
@@ -162,13 +190,15 @@ class Container:
 class Store:
     """An unbounded (or bounded) FIFO queue of discrete items."""
 
+    __slots__ = ("sim", "capacity", "name", "_items", "_getters", "_putters")
+
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
         self.sim = sim
         self.capacity = capacity
         self.name = name
-        self._items: list[Any] = []
-        self._getters: list[Event] = []
-        self._putters: list[tuple[Event, Any]] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -194,11 +224,11 @@ class Store:
             while self._putters and (
                 self.capacity is None or len(self._items) < self.capacity
             ):
-                op, item = self._putters.pop(0)
+                op, item = self._putters.popleft()
                 self._items.append(item)
                 op.succeed(item)
                 progressed = True
             while self._getters and self._items:
-                op = self._getters.pop(0)
-                op.succeed(self._items.pop(0))
+                op = self._getters.popleft()
+                op.succeed(self._items.popleft())
                 progressed = True

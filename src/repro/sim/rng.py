@@ -15,17 +15,32 @@ __all__ = ["StreamFactory", "LatencySampler"]
 
 
 class StreamFactory:
-    """Hands out independent, named ``numpy.random.Generator`` streams."""
+    """Hands out independent, named ``numpy.random.Generator`` streams.
 
-    def __init__(self, seed: int = 0x5EED):
+    ``salt`` namespaces every stream: two factories with the same seed
+    but different salts produce unrelated streams for the same name.
+    Sweeps that build one device per point use the point's label as the
+    salt so points draw independent jitter without perturbing each
+    other. An empty salt (the default) leaves stream derivation exactly
+    as it was before salting existed.
+    """
+
+    def __init__(self, seed: int = 0x5EED, salt: str = ""):
         self._seed = int(seed)
+        self._salt = salt
 
     @property
     def seed(self) -> int:
         return self._seed
 
+    @property
+    def salt(self) -> str:
+        return self._salt
+
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name`` (same name → same stream)."""
+        if self._salt:
+            name = f"{self._salt}/{name}"
         child = np.random.SeedSequence(
             entropy=self._seed, spawn_key=tuple(name.encode("utf-8"))
         )
@@ -41,11 +56,20 @@ class LatencySampler:
     deterministic emulator models use).
     """
 
+    __slots__ = ("_rng", "_sigma", "_factors", "_cursor")
+
+    #: Jitter draws per batched refill. ``Generator.normal(size=N)``
+    #: produces bit-identical values to N sequential scalar draws, so
+    #: batching changes only allocation cost, never results.
+    _BATCH = 256
+
     def __init__(self, rng: np.random.Generator, sigma: float = 0.03):
         if sigma < 0:
             raise ValueError(f"jitter sigma must be >= 0, got {sigma}")
         self._rng = rng
         self._sigma = float(sigma)
+        self._factors: list[float] = []
+        self._cursor = 0
 
     @property
     def sigma(self) -> float:
@@ -57,5 +81,11 @@ class LatencySampler:
             raise ValueError(f"nominal latency must be >= 0, got {nominal_ns}")
         if self._sigma == 0.0 or nominal_ns == 0:
             return int(nominal_ns)
-        factor = float(np.exp(self._rng.normal(0.0, self._sigma)))
-        return max(1, round(nominal_ns * factor))
+        cursor = self._cursor
+        if cursor == len(self._factors):
+            self._factors = np.exp(
+                self._rng.normal(0.0, self._sigma, size=self._BATCH)
+            ).tolist()
+            cursor = 0
+        self._cursor = cursor + 1
+        return max(1, round(nominal_ns * self._factors[cursor]))

@@ -69,11 +69,11 @@ class StorageStack:
         """Issue a command through the stack; fires with its Completion."""
         command.submitted_at = self.sim.now
         self.stats.requests += 1
-        done = self.sim.event()
-        self.sim.process(self._issue(command, done))
-        return done
+        # The issue process doubles as the completion event (its return
+        # value is the Completion) — no separate done event per command.
+        return self.sim.process(self._issue(command))
 
-    def _issue(self, command: Command, done: Event):
+    def _issue(self, command: Command):
         traced = self.tracer.enabled
         entered = self.sim.now if traced else 0
         yield self.sim.timeout(self.submit_overhead_ns)
@@ -95,4 +95,4 @@ class StorageStack:
         if traced:
             self.tracer.span("host", f"{self.name}.complete", complete_started,
                              self.sim.now, track="host", cid=cid)
-        done.succeed(completion)
+        return completion

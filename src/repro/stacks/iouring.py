@@ -51,15 +51,13 @@ class IoUringStack(StorageStack):
             return super().submit(command)
         command.submitted_at = self.sim.now
         self.stats.requests += 1
-        done = self.sim.event()
-        self.sim.process(self._issue_scheduled(command, done))
-        return done
+        return self.sim.process(self._issue_scheduled(command))
 
-    def _issue_scheduled(self, command: Command, done: Event):
+    def _issue_scheduled(self, command: Command):
         yield self.sim.timeout(self.submit_overhead_ns + self.scheduler.overhead_ns)
         inner = self.sim.event()
         self.scheduler.enqueue(command, inner)
         completion = yield inner
         yield self.sim.timeout(self.complete_overhead_ns)
         completion.completed_at = self.sim.now
-        done.succeed(completion)
+        return completion

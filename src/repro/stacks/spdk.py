@@ -29,11 +29,12 @@ class SpdkStack(StorageStack):
         super().__init__(device, submit_overhead_ns=360, complete_overhead_ns=200)
         self.enforce_write_serialization = enforce_write_serialization
         self._inflight_zone_writes: dict[int, int] = {}
+        self._zones = getattr(device, "zones", None)
 
     def _zone_index_for(self, command: Command):
-        if command.opcode is not Opcode.WRITE or not hasattr(self.device, "zones"):
+        if command.opcode is not Opcode.WRITE or self._zones is None:
             return None
-        zone = self.device.zones.zone_containing(command.slba)
+        zone = self._zones.zone_containing(command.slba)
         return None if zone is None else zone.index
 
     def submit(self, command: Command) -> Event:

@@ -165,8 +165,13 @@ class JobRunner:
     # -- the submission loop ----------------------------------------------------
     def _slot(self, pattern) -> Generator:
         job = self.job
-        while self.sim.now < self._end_ns:
-            command, reset_zone = pattern.next_target()
+        sim = self.sim
+        end_ns = self._end_ns
+        next_target = pattern.next_target
+        submit = self.stack.submit
+        is_append = isinstance(pattern, ZoneAppendCursor)
+        while sim.now < end_ns:
+            command, reset_zone = next_target()
             if reset_zone is not None:
                 yield from self._reset_zone(pattern, reset_zone)
                 continue
@@ -174,18 +179,18 @@ class JobRunner:
                 # All target zones transiently blocked by in-flight work;
                 # wait out a completion window and retry instead of
                 # retiring the slot (which would shrink concurrency).
-                yield self.sim.timeout(us(10))
+                yield sim.timeout(us(10))
                 continue
             if command is None:
                 return
             if self._pacer is not None:
                 delay = self._pacer.delay_for(job.block_size)
                 if delay:
-                    yield self.sim.timeout(delay)
-                if self.sim.now >= self._end_ns:
+                    yield sim.timeout(delay)
+                if sim.now >= end_ns:
                     return
-            completion = yield self.stack.submit(command)
-            if isinstance(pattern, ZoneAppendCursor):
+            completion = yield submit(command)
+            if is_append:
                 pattern.completed(command)
             self._record(completion)
 

@@ -182,21 +182,24 @@ class ZnsDevice:
             else 0
         )
         self.last_cid = cid
-        done = self.sim.event()
-        if command.opcode is Opcode.READ:
-            self.sim.process(self._exec_read(command, done, cid))
-        elif command.opcode is Opcode.WRITE:
-            self.sim.process(self._exec_write(command, done, cid))
-        elif command.opcode is Opcode.APPEND:
-            self.sim.process(self._exec_append(command, done, cid))
-        elif command.opcode is Opcode.ZONE_MGMT:
-            self.sim.process(self._exec_zone_mgmt(command, done, cid))
+        opcode = command.opcode
+        if opcode is Opcode.READ:
+            gen = self._exec_read(command, cid)
+        elif opcode is Opcode.WRITE:
+            gen = self._exec_write(command, cid)
+        elif opcode is Opcode.APPEND:
+            gen = self._exec_append(command, cid)
+        elif opcode is Opcode.ZONE_MGMT:
+            gen = self._exec_zone_mgmt(command, cid)
         else:
             raise ValueError(
                 f"ZNS device does not support {command.opcode.value} "
                 "(reclaim whole zones with reset instead of trim)"
             )
-        return done
+        # The process event itself is the completion event (the generator
+        # returns the Completion): one event instead of a done-event plus
+        # a never-watched process event per command.
+        return self.sim.process(gen)
 
     def report_zones(self) -> list[Zone]:
         """Zone report (the nvme-cli ``zns report-zones`` equivalent)."""
@@ -225,6 +228,55 @@ class ZnsDevice:
         block = self.namespace.block_size
         self._zone_page_cursor[zone_index] = (nlb * block) // self.profile.geometry.page_size
         return Status.SUCCESS
+
+    def state_snapshot(self) -> dict:
+        """Fixture: capture the quiescent device state for :meth:`restore_state`.
+
+        Captures everything that makes later commands behave differently
+        — zone states/write pointers, per-zone flush residuals and page
+        cursors, and the accumulated firmware mapping debt. RNG streams
+        and observability counters are deliberately *not* captured:
+        restoring rewinds the device, not the experiment's statistics.
+
+        Requires a quiescent device: no in-flight commands and no pending
+        page flushes (``sim.run()`` with no deadline drains everything;
+        stable sub-page residuals may remain buffered and are captured).
+        The occupancy sweeps use this to rewind between repetitions
+        instead of replaying their fill sequences.
+        """
+        self._require_quiescent("state_snapshot")
+        return {
+            "zones": self.zones.state_snapshot(),
+            "residual": dict(self._zone_residual),
+            "page_cursor": dict(self._zone_page_cursor),
+            "fw_debt_ns": self._fw_debt_ns,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Reinstate a :meth:`state_snapshot` image (quiescent device only)."""
+        self._require_quiescent("restore_state")
+        self.zones.restore_state(snapshot["zones"])
+        self._zone_residual = dict(snapshot["residual"])
+        self._zone_page_cursor = dict(snapshot["page_cursor"])
+        self._fw_debt_ns = snapshot["fw_debt_ns"]
+        # At quiescence the buffered bytes are exactly the stable
+        # sub-page residuals; reinstate the snapshot's.
+        self.buffer.force_level(sum(self._zone_residual.values()))
+        if self.observing:
+            self._wbuf_gauge.set(self.buffer.level)
+
+    def _require_quiescent(self, what: str) -> None:
+        if self._mgmt_busy or any(self._inflight_writes.values()):
+            raise RuntimeError(
+                f"{what} requires a quiescent device: commands in flight"
+            )
+        residual = sum(self._zone_residual.values())
+        if self.buffer.level != residual:
+            raise RuntimeError(
+                f"{what} requires a quiescent device: "
+                f"{self.buffer.level - residual} buffered bytes await "
+                "page flush; run the simulator to exhaustion first"
+            )
 
     def inject_zone_failure(self, zone_index: int, state: ZoneState) -> None:
         """Failure injection: mark a zone READ_ONLY or OFFLINE.
@@ -275,9 +327,9 @@ class ZnsDevice:
                 open=self.zones.open_count, active=self.zones.active_count,
             )
 
-    def _complete(self, done: Event, command: Command, status: Status,
+    def _complete(self, command: Command, status: Status,
                   nbytes: int = 0, assigned_lba: Optional[int] = None,
-                  cid: int = 0) -> None:
+                  cid: int = 0) -> Completion:
         completion = Completion(
             command=command,
             status=status,
@@ -297,7 +349,7 @@ class ZnsDevice:
                 opcode=command.opcode.value, status=status.value,
                 slba=command.slba, nlb=command.nlb,
             )
-        done.succeed(completion)
+        return completion
 
     def _controller_service(self, service_ns: int, cid: int = 0) -> Generator:
         traced = self.tracer.enabled
@@ -329,7 +381,7 @@ class ZnsDevice:
         self._fw_debt_ns += self.profile.fw_io_ns(opcode)
 
     # ------------------------------------------------------------------ read
-    def _exec_read(self, command: Command, done: Event, cid: int = 0) -> Generator:
+    def _exec_read(self, command: Command, cid: int = 0) -> Generator:
         zone, status = self._zone_for_io(command)
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
@@ -339,8 +391,7 @@ class ZnsDevice:
         if status.ok and zone.state is ZoneState.OFFLINE:
             status = Status.ZONE_IS_OFFLINE  # data is gone; READ_ONLY still reads
         if not status.ok:
-            self._complete(done, command, status, cid=cid)
-            return
+            return self._complete(command, status, cid=cid)
         offset = self.namespace.bytes_of(command.slba - zone.zslba)
         spans = self.striping.dies_for_span(zone.index, offset, nbytes)
         nand_started = self.sim.now if self.tracer.enabled else 0
@@ -351,15 +402,18 @@ class ZnsDevice:
             )
             for die, take in spans
         ]
-        yield self.sim.all_of(reads)
+        if len(reads) == 1:
+            yield reads[0]
+        else:
+            yield self.sim.all_of(reads)
         if self.tracer.enabled:
             self.tracer.span("nand", "read.fanout", nand_started, self.sim.now,
                              track="nand", cid=cid, dies=len(spans))
         self._note_io_fw_work(Opcode.READ)
-        self._complete(done, command, Status.SUCCESS, nbytes=nbytes, cid=cid)
+        return self._complete(command, Status.SUCCESS, nbytes=nbytes, cid=cid)
 
     # ----------------------------------------------------------------- write
-    def _exec_write(self, command: Command, done: Event, cid: int = 0) -> Generator:
+    def _exec_write(self, command: Command, cid: int = 0) -> Generator:
         zone, status = self._zone_for_io(command)
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
@@ -374,8 +428,7 @@ class ZnsDevice:
             status = Status.ZONE_INVALID_WRITE
         if not status.ok:
             yield from self._controller_service(service, cid)
-            self._complete(done, command, status, cid=cid)
-            return
+            return self._complete(command, status, cid=cid)
         self._inflight_writes[zone.index] = self._inflight_writes.get(zone.index, 0) + 1
         try:
             traced = self.tracer.enabled
@@ -395,8 +448,7 @@ class ZnsDevice:
                 self.tracer.span("controller", "controller.service", granted_at,
                                  self.sim.now, track="controller", cid=cid)
             if not status.ok:
-                self._complete(done, command, status, cid=cid)
-                return
+                return self._complete(command, status, cid=cid)
             admit_started = self.sim.now if traced else 0
             yield self.sim.timeout(
                 self.profile.dma_ns(nbytes) + self.profile.write_admit_ns
@@ -410,12 +462,12 @@ class ZnsDevice:
                                  nbytes=nbytes)
             self._enqueue_flush(zone.index, nbytes)
             self._note_io_fw_work(Opcode.WRITE)
-            self._complete(done, command, Status.SUCCESS, nbytes=nbytes, cid=cid)
+            return self._complete(command, Status.SUCCESS, nbytes=nbytes, cid=cid)
         finally:
             self._inflight_writes[zone.index] -= 1
 
     # ---------------------------------------------------------------- append
-    def _exec_append(self, command: Command, done: Event, cid: int = 0) -> Generator:
+    def _exec_append(self, command: Command, cid: int = 0) -> Generator:
         zone, status = self._zone_for_io(command)
         nbytes = self.namespace.bytes_of(command.nlb)
         service = self.profile.cmd_service_ns(
@@ -425,8 +477,7 @@ class ZnsDevice:
             status = Status.INVALID_ZONE_STATE_TRANSITION
         if not status.ok:
             yield from self._controller_service(service, cid)
-            self._complete(done, command, status, cid=cid)
-            return
+            return self._complete(command, status, cid=cid)
         traced = self.tracer.enabled
         queued_at = self.sim.now if traced else 0
         req = self.controller.request(PRIO_IO)
@@ -446,8 +497,7 @@ class ZnsDevice:
             self.tracer.span("controller", "controller.service", granted_at,
                              self.sim.now, track="controller", cid=cid)
         if not status.ok:
-            self._complete(done, command, status, cid=cid)
-            return
+            return self._complete(command, status, cid=cid)
         admit_started = self.sim.now if traced else 0
         yield self.sim.timeout(
             self.profile.dma_ns(nbytes)
@@ -462,8 +512,8 @@ class ZnsDevice:
                              self.sim.now, track="buffer", cid=cid, nbytes=nbytes)
         self._enqueue_flush(zone.index, nbytes)
         self._note_io_fw_work(Opcode.APPEND)
-        self._complete(done, command, Status.SUCCESS, nbytes=nbytes,
-                       assigned_lba=assigned, cid=cid)
+        return self._complete(command, Status.SUCCESS, nbytes=nbytes,
+                              assigned_lba=assigned, cid=cid)
 
     # -------------------------------------------------------------- flushing
     def _enqueue_flush(self, zone_index: int, nbytes: int) -> None:
@@ -494,28 +544,26 @@ class ZnsDevice:
         self._zone_page_cursor.pop(zone_index, None)
 
     # ------------------------------------------------------------- zone mgmt
-    def _exec_zone_mgmt(self, command: Command, done: Event, cid: int = 0) -> Generator:
+    def _exec_zone_mgmt(self, command: Command, cid: int = 0) -> Generator:
         zone = self.zones.zone_at_start(command.slba)
         if zone is None:
             yield self.sim.timeout(self.profile.zone_open_ns)
-            self._complete(done, command, Status.INVALID_FIELD, cid=cid)
-            return
+            return self._complete(command, Status.INVALID_FIELD, cid=cid)
         if zone.index in self._mgmt_busy:
             yield self.sim.timeout(self.profile.zone_open_ns)
-            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION,
-                           cid=cid)
-            return
+            return self._complete(command, Status.INVALID_ZONE_STATE_TRANSITION,
+                                  cid=cid)
         action = command.action
         if action is ZoneAction.OPEN:
             yield from self._quick_mgmt(self.profile.zone_open_ns, "open", cid)
-            self._complete(done, command, self.zones.open(zone), cid=cid)
+            return self._complete(command, self.zones.open(zone), cid=cid)
         elif action is ZoneAction.CLOSE:
             yield from self._quick_mgmt(self.profile.zone_close_ns, "close", cid)
-            self._complete(done, command, self.zones.close(zone), cid=cid)
+            return self._complete(command, self.zones.close(zone), cid=cid)
         elif action is ZoneAction.FINISH:
-            yield from self._exec_finish(zone, command, done, cid)
+            return (yield from self._exec_finish(zone, command, cid))
         elif action is ZoneAction.RESET:
-            yield from self._exec_reset(zone, command, done, cid)
+            return (yield from self._exec_reset(zone, command, cid))
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown zone action {action}")
 
@@ -534,16 +582,15 @@ class ZnsDevice:
             self.tracer.span("firmware", f"{name}.service", granted_at,
                              self.sim.now, track="firmware", cid=cid)
 
-    def _exec_finish(self, zone: Zone, command: Command, done: Event,
+    def _exec_finish(self, zone: Zone, command: Command,
                      cid: int = 0) -> Generator:
         # The paper: finish is not permitted on an EMPTY or FULL zone.
         if zone.state not in (
             ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN, ZoneState.CLOSED
         ) or zone.occupancy_lbas == 0:
             yield from self._quick_mgmt(self.profile.zone_open_ns, "finish", cid)
-            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION,
-                           cid=cid)
-            return
+            return self._complete(command, Status.INVALID_ZONE_STATE_TRANSITION,
+                                  cid=cid)
         remaining_bytes = self.namespace.bytes_of(zone.remaining_lbas)
         work = self._mgmt_jitter.jitter(self.profile.finish_work_ns(remaining_bytes))
         chunk_ns = max(
@@ -558,15 +605,14 @@ class ZnsDevice:
         finally:
             self._mgmt_busy.discard(zone.index)
         status, _ = self.zones.finish(zone)
-        self._complete(done, command, status, cid=cid)
+        return self._complete(command, status, cid=cid)
 
-    def _exec_reset(self, zone: Zone, command: Command, done: Event,
+    def _exec_reset(self, zone: Zone, command: Command,
                     cid: int = 0) -> Generator:
         if zone.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
             yield from self._quick_mgmt(self.profile.zone_open_ns, "reset", cid)
-            self._complete(done, command, Status.INVALID_ZONE_STATE_TRANSITION,
-                           cid=cid)
-            return
+            return self._complete(command, Status.INVALID_ZONE_STATE_TRANSITION,
+                                  cid=cid)
         occupied = zone.occupancy_lbas - zone.finished_pad_lbas
         pad = zone.finished_pad_lbas
         work = self._mgmt_jitter.jitter(
@@ -580,7 +626,7 @@ class ZnsDevice:
             self._mgmt_busy.discard(zone.index)
         self.zones.reset(zone)
         self._drop_residual(zone.index)
-        self._complete(done, command, Status.SUCCESS, cid=cid)
+        return self._complete(command, Status.SUCCESS, cid=cid)
 
     def _mgmt_work(self, work_ns: int, chunk_ns: int, name: str = "mgmt",
                    cid: int = 0) -> Generator:

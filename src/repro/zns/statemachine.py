@@ -88,6 +88,39 @@ class ZoneManager:
             return zone
         return None
 
+    def state_snapshot(self) -> list[tuple[str, int, int]]:
+        """Portable image of the mutable per-zone state.
+
+        One ``(state, wp, finished_pad_lbas)`` tuple per zone, in index
+        order. Geometry (zslba/size/cap) is immutable and not captured.
+        """
+        return [(z.state.value, z.wp, z.finished_pad_lbas) for z in self.zones]
+
+    def restore_state(self, snapshot: list[tuple[str, int, int]]) -> None:
+        """Reinstate a :meth:`state_snapshot` image.
+
+        A fixture, like :meth:`force_state`: states are assigned
+        directly (``on_transition`` observers do not fire — restoring is
+        not a simulated transition) and the open/active counters are
+        recomputed from the restored states.
+        """
+        if len(snapshot) != len(self.zones):
+            raise ValueError(
+                f"snapshot covers {len(snapshot)} zones, "
+                f"manager has {len(self.zones)}"
+            )
+        for zone, (state, wp, pad) in zip(self.zones, snapshot):
+            zone.state = ZoneState(state)
+            zone.wp = wp
+            zone.finished_pad_lbas = pad
+        self._open_count = sum(
+            1 for z in self.zones if z.state in OPEN_STATES
+        )
+        self._active_count = sum(
+            1 for z in self.zones if z.state in ACTIVE_STATES
+        )
+        self.check_invariants()
+
     def check_invariants(self) -> None:
         """Assert the counter/limit invariants (used by property tests)."""
         open_zones = sum(1 for z in self.zones if z.state in OPEN_STATES)

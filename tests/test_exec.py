@@ -64,7 +64,8 @@ class TestResultCache:
         entry = {"payload": {"rows": [{"x": 1.5}]}, "metrics": None,
                  "elapsed_s": 0.25}
         cache.store(key, entry)
-        assert cache.load(key) == entry and cache.hits == 1
+        # store() stamps the entry with the code version it ran under.
+        assert cache.load(key) == {**entry, "code": "v1"} and cache.hits == 1
 
     def test_key_covers_all_inputs(self, tmp_path):
         cache = ResultCache(tmp_path, version="v1")
@@ -142,7 +143,8 @@ class TestEngineOutputIdentity:
         _, report1 = execute_experiments(["fig2a"], config, jobs=1,
                                          cache_dir=tmp_path)
         # Drop one checkpointed point; a re-run recomputes just that one.
-        entries = sorted(tmp_path.rglob("*.json"))
+        # Count only entry shards; the duration sidecar lives at the root.
+        entries = sorted(tmp_path.glob("??/*.json"))
         assert len(entries) == report1.executed
         entries[0].unlink()
         _, report2 = execute_experiments(["fig2a"], config, jobs=1,
@@ -289,3 +291,158 @@ class TestWorkerPool:
     def test_bad_job_count_rejected(self):
         with pytest.raises(ValueError):
             WorkerPool(jobs=0)
+
+
+class TestCachePrune:
+    def _store_one(self, cache: ResultCache, tag: str) -> str:
+        key = cache.key("fig2a", {"op": tag}, {"seed": 1}, False)
+        cache.store(key, {"payload": tag, "metrics": None, "elapsed_s": 0.1})
+        return key
+
+    def test_prune_removes_only_stale_generations(self, tmp_path):
+        old = ResultCache(tmp_path, version="v1")
+        old_key = self._store_one(old, "old")
+        new = ResultCache(tmp_path, version="v2")
+        new_key = self._store_one(new, "new")
+
+        stale, kept = new.prune(dry_run=True)
+        assert (len(stale), kept) == (1, 1)
+        # Dry run deletes nothing.
+        assert new.load(old_key) is not None
+
+        stale, kept = new.prune()
+        assert (len(stale), kept) == (1, 1)
+        assert new.load(old_key) is None
+        assert new.load(new_key)["payload"] == "new"
+
+    def test_prune_drops_corrupt_entries(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        key = self._store_one(cache, "good")
+        bad = tmp_path / "ab" / ("b" * 64 + ".json")
+        bad.parent.mkdir(exist_ok=True)
+        bad.write_text("{not json")
+        stale, kept = cache.prune()
+        assert (len(stale), kept) == (1, 1)
+        assert not bad.exists() and cache.load(key) is not None
+
+    def test_prune_preserves_duration_sidecar(self, tmp_path):
+        old = ResultCache(tmp_path, version="v1")
+        self._store_one(old, "old")
+        old.record_duration("deadbeef", 1.25)
+        old.flush_durations()
+        new = ResultCache(tmp_path, version="v2")
+        new.prune()
+        assert new.duration_hint("deadbeef") == 1.25
+
+    def test_prune_missing_directory_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "nonexistent", version="v1")
+        assert cache.prune() == ([], 0)
+
+
+def _ran_labels(progress_lines: list[str]) -> list[str]:
+    """The ``experiment:label`` tokens in per-point progress lines."""
+    ran = []
+    for line in progress_lines:
+        parts = line.split()
+        if len(parts) >= 3 and "/" in parts[1]:
+            ran.append(parts[2])
+    return ran
+
+
+class TestLongestFirstScheduling:
+    def test_cold_cache_runs_in_plan_order(self, tmp_path):
+        config = tiny_config()
+        lines: list[str] = []
+        execute_experiments(["fig2a"], config, jobs=1, cache_dir=tmp_path,
+                            progress=lines.append)
+        plan_labels = [
+            "fig2a:" + points_mod.point_label(canonical_payload(p))
+            for p in experiment_plans()["fig2a"].plan(config)
+        ]
+        assert _ran_labels(lines) == plan_labels
+
+    def test_warm_hints_schedule_longest_first(self, tmp_path):
+        config = tiny_config()
+        serial, _ = execute_experiments(["fig2a"], config, jobs=1)
+        execute_experiments(["fig2a"], config, jobs=1, cache_dir=tmp_path)
+
+        # Rewrite the sidecar so recorded durations grow with plan index,
+        # then orphan every entry: all points miss, but hints survive.
+        cache = ResultCache(tmp_path)
+        cfg = config_fields(config)
+        params = [canonical_payload(p)
+                  for p in experiment_plans()["fig2a"].plan(config)]
+        for index, point_params in enumerate(params):
+            cache.record_duration(
+                cache.hint_key("fig2a", point_params, cfg), float(index))
+        cache.flush_durations()
+        for entry in tmp_path.glob("??/*.json"):
+            entry.unlink()
+
+        lines = []
+        results, report = execute_experiments(
+            ["fig2a"], config, jobs=1, cache_dir=tmp_path,
+            progress=lines.append)
+        plan_labels = ["fig2a:" + points_mod.point_label(p) for p in params]
+        # Longest hint first = reverse plan order ...
+        assert _ran_labels(lines) == list(reversed(plan_labels))
+        assert report.executed == len(params)
+        # ... while assembly stays in plan order: output is unchanged.
+        assert results_blob(results) == results_blob(serial)
+
+    def test_unknown_hints_run_before_known(self, tmp_path):
+        config = tiny_config()
+        execute_experiments(["fig2a"], config, jobs=1, cache_dir=tmp_path)
+        # Start from an empty sidecar (the run above hinted every point).
+        (tmp_path / "durations.json").unlink()
+        cache = ResultCache(tmp_path)
+        cfg = config_fields(config)
+        params = [canonical_payload(p)
+                  for p in experiment_plans()["fig2a"].plan(config)]
+        # Hint every point except the last; orphan all entries.
+        for index, point_params in enumerate(params[:-1]):
+            cache.record_duration(
+                cache.hint_key("fig2a", point_params, cfg), 1.0 + index)
+        cache.flush_durations()
+        for entry in tmp_path.glob("??/*.json"):
+            entry.unlink()
+        lines = []
+        execute_experiments(["fig2a"], config, jobs=1, cache_dir=tmp_path,
+                            progress=lines.append)
+        first = _ran_labels(lines)[0]
+        assert first == "fig2a:" + points_mod.point_label(params[-1])
+
+
+class TestEngineDeterminism:
+    """The sim-core fast paths must not perturb results (PR 3 oracle)."""
+
+    def test_back_to_back_runs_byte_identical(self):
+        config = tiny_config()
+        first, report = execute_experiments(["fig2a", "fig4a"], config, jobs=1)
+        second, _ = execute_experiments(["fig2a", "fig4a"], config, jobs=1)
+        assert results_blob(first) == results_blob(second)
+        # Every freshly-run point reports its simulated event count.
+        assert all(r.events > 0 for r in report.points if r.source == "run")
+        assert report.events_per_s > 0
+
+
+class TestBench:
+    def test_run_bench_document_shape(self, tmp_path):
+        from repro.exec.bench import BENCH_SCHEMA, run_bench
+
+        doc = run_bench(["fig2a"], tiny_config(), jobs=1)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["points"] == 8 and doc["cache_hits"] == 0
+        assert doc["events"] > 0 and doc["events_per_s"] > 0
+        row = doc["experiments"]["fig2a"]
+        assert row["points"] == 8 and row["events"] == doc["events"]
+
+    def test_compare_gates_on_events_per_s(self):
+        from repro.exec.bench import compare
+
+        baseline = {"events_per_s": 1000.0}
+        assert compare({"events_per_s": 900.0}, baseline) == []
+        assert compare({"events_per_s": 799.0}, baseline)
+        # A fully-cached run (no fresh timing signal) never fails.
+        assert compare({"events_per_s": 0.0}, baseline) == []
+        assert compare({"events_per_s": 900.0}, {}) == []

@@ -261,6 +261,31 @@ class TestStreamFactory:
         b = StreamFactory(seed=2).stream("x").random(5)
         assert not (a == b).all()
 
+    def test_salt_namespaces_streams(self):
+        from repro.sim import StreamFactory
+
+        plain = StreamFactory(seed=7).stream("x").random(5)
+        salted = StreamFactory(seed=7, salt="point-a").stream("x").random(5)
+        other = StreamFactory(seed=7, salt="point-b").stream("x").random(5)
+        assert not (plain == salted).all()
+        assert not (salted == other).all()
+
+    def test_empty_salt_matches_unsalted(self):
+        """The default empty salt must not change stream derivation —
+        pre-salt results stay byte-identical."""
+        from repro.sim import StreamFactory
+
+        plain = StreamFactory(seed=7).stream("x").random(5)
+        empty = StreamFactory(seed=7, salt="").stream("x").random(5)
+        assert (plain == empty).all()
+
+    def test_salted_stream_equals_prefixed_name(self):
+        from repro.sim import StreamFactory
+
+        salted = StreamFactory(seed=7, salt="s").stream("x").random(5)
+        prefixed = StreamFactory(seed=7).stream("s/x").random(5)
+        assert (salted == prefixed).all()
+
 
 class TestLatencySampler:
     def test_zero_sigma_is_identity(self):

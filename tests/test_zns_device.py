@@ -354,3 +354,89 @@ class TestInterferenceMechanics:
         loaded = run_cmd(sim, dev, mgmt(zslba1, ZoneAction.RESET)).latency_ns
         stop.append(True)
         assert loaded > 1.3 * isolated
+
+
+class TestStateSnapshotRestore:
+    """The snapshot/restore fixture the occupancy sweeps rewind with."""
+
+    def _snapshot_view(self, dev):
+        return {
+            "zones": dev.zones.state_snapshot(),
+            "buffer": dev.buffer.level,
+        }
+
+    def test_restore_rewinds_zone_and_buffer_state(self):
+        sim, dev = make_device(quiet_profile())
+        pristine = dev.state_snapshot()
+        before = self._snapshot_view(dev)
+        # Dirty several zones in different ways.
+        run_cmd(sim, dev, write(0, 3))
+        run_cmd(sim, dev, append(dev.zones.zones[1].zslba, 2))
+        dev.force_fill(2, 64)
+        run_cmd(sim, dev, mgmt(dev.zones.zones[2].zslba, ZoneAction.FINISH))
+        sim.run()
+        dev.restore_state(pristine)
+        assert self._snapshot_view(dev) == before
+        assert dev.zones.open_count == 0
+        assert dev.zones.active_count == 0
+        for zone in dev.zones.zones[:3]:
+            assert zone.state is ZoneState.EMPTY
+            assert zone.wp == zone.zslba
+
+    def test_restore_reinstates_subpage_residual(self):
+        sim, dev = make_device(quiet_profile())
+        # Leave a stable sub-page residual in the buffer, then snapshot.
+        run_cmd(sim, dev, write(0, 1))
+        sim.run()
+        assert dev.buffer.level > 0
+        dirty = dev.state_snapshot()
+        pristine_level = dev.buffer.level
+        # More writes change the residual; restore brings it back.
+        page_lbas = dev.profile.geometry.page_size // dev.namespace.block_size
+        run_cmd(sim, dev, write(dev.zones.zones[0].wp, page_lbas))
+        sim.run()
+        dev.restore_state(dirty)
+        assert dev.buffer.level == pristine_level
+
+    def test_snapshot_rejects_pending_flush(self):
+        import pytest
+
+        sim, dev = make_device(quiet_profile())
+        page_lbas = dev.profile.geometry.page_size // dev.namespace.block_size
+        # Complete a full-page write but do NOT drain the flusher.
+        run_cmd(sim, dev, write(0, page_lbas))
+        with pytest.raises(RuntimeError, match="page flush"):
+            dev.state_snapshot()
+
+    def test_snapshot_rejects_inflight_command(self):
+        import pytest
+
+        sim, dev = make_device(quiet_profile())
+        dev.submit(write(0, 1))
+        # Run partway into the (~11 µs) write so it is genuinely in flight.
+        sim.run(until=sim.timeout(us(1)))
+        with pytest.raises(RuntimeError, match="in flight"):
+            dev.state_snapshot()
+
+    def test_restored_device_replays_identical_latencies(self):
+        """With jitter off, a rewound device repeats the same physics —
+        the property the per-rep rewind in fig5a/fig5b relies on."""
+        sim, dev = make_device(quiet_profile())
+        pristine = dev.state_snapshot()
+
+        def one_rep():
+            dev.force_fill(0, 256)
+            fin = run_cmd(sim, dev, mgmt(0, ZoneAction.FINISH)).latency_ns
+            rst = run_cmd(sim, dev, mgmt(0, ZoneAction.RESET)).latency_ns
+            sim.run()
+            dev.restore_state(pristine)
+            return fin, rst
+
+        assert one_rep() == one_rep()
+
+    def test_zone_manager_restore_checks_length(self):
+        import pytest
+
+        sim, dev = make_device(quiet_profile())
+        with pytest.raises(ValueError, match="zones"):
+            dev.zones.restore_state([])
