@@ -10,11 +10,15 @@ Commands
                  simulated-time breakdown (``--self`` for a built-in
                  smoke workload)
 ``observations`` run the experiments needed for the 13 observations and
-                 report which reproduce (Table I)
-``fidelity``     run the §IV emulator-fidelity matrix
+                 report which reproduce (Table I); points fan out over
+                 ``--jobs`` workers and replay from ``--cache``
+``fidelity``     run the §IV emulator-fidelity matrix (one point per
+                 latency model, through the same ``--jobs``/``--cache``
+                 engine)
 ``bench``        benchmark the suite: per-experiment wall clock and
                  simulated events/sec, written to ``BENCH_sim.json``;
-                 ``--baseline`` turns it into a perf regression gate
+                 ``--reps`` adds rep-to-rep variance, ``--baseline``
+                 turns it into a perf regression gate
 ``cache``        manage the point-result cache (``cache prune`` deletes
                  entries orphaned by code changes)
 ``list``         list available experiment ids
@@ -26,7 +30,7 @@ import argparse
 import dataclasses
 import sys
 
-from .core import ExperimentConfig, check_all, run_experiments, table1, table2
+from .core import ExperimentConfig, run_experiments, table1, table2
 from .core.report import EXPERIMENT_RUNNERS
 from .obs import MetricsRegistry, Tracer
 from .sim.engine import ms
@@ -103,12 +107,36 @@ def main(argv: list[str] | None = None) -> int:
                                      "of the simulated-time breakdown")
     profile_parser.add_argument("--jobs", "-j", type=int, default=1,
                                 help="worker processes for --points")
+    profile_parser.add_argument("--by-layer", action="store_true",
+                                help="with --self: also attribute Python "
+                                     "compute time to code layers "
+                                     "(core-pipeline vs model-specific)")
     obs_parser = sub.add_parser(
         "observations", help="evaluate the 13 observations (Table I)")
     obs_parser.add_argument(
         "--skip-interference", action="store_true",
         help="skip the minutes-long fig6/obs11/fig7 experiments")
-    sub.add_parser("fidelity", help="run the emulator-fidelity matrix (§IV)")
+    obs_parser.add_argument("--jobs", "-j", type=int, default=1,
+                            help="worker processes for the sweep points "
+                                 "(default 1 = in-process; checks are "
+                                 "identical at any job count)")
+    obs_parser.add_argument("--cache", metavar="DIR", default=".repro_cache",
+                            help="point-result cache directory (default "
+                                 "%(default)s)")
+    obs_parser.add_argument("--no-cache", action="store_true",
+                            help="recompute every point; neither read nor "
+                                 "write the cache")
+    fidelity_parser = sub.add_parser(
+        "fidelity", help="run the emulator-fidelity matrix (§IV)")
+    fidelity_parser.add_argument("--jobs", "-j", type=int, default=1,
+                                 help="worker processes (one point per "
+                                      "latency model; default 1)")
+    fidelity_parser.add_argument("--cache", metavar="DIR",
+                                 default=".repro_cache",
+                                 help="point-result cache directory "
+                                      "(default %(default)s)")
+    fidelity_parser.add_argument("--no-cache", action="store_true",
+                                 help="recompute every model probe")
     bench_parser = sub.add_parser(
         "bench", help="benchmark the suite, write BENCH_sim.json")
     bench_parser.add_argument("ids", nargs="*",
@@ -118,6 +146,11 @@ def main(argv: list[str] | None = None) -> int:
                                    "at --fast scale")
     bench_parser.add_argument("--jobs", "-j", type=int, default=1,
                               help="worker processes (default 1)")
+    bench_parser.add_argument("--reps", type=int, default=1,
+                              help="benchmark repetitions; > 1 records "
+                                   "rep-to-rep stdev of wall seconds and "
+                                   "events/sec (and disables the cache so "
+                                   "every rep carries timing signal)")
     bench_parser.add_argument("--output", "-o", metavar="PATH",
                               default="BENCH_sim.json",
                               help="where to write the benchmark JSON "
@@ -196,6 +229,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "profile":
         from .obs.profile import profile_experiment, run_self_profile
 
+        if args.by_layer and not args.self_profile:
+            profile_parser.error("--by-layer needs --self")
         if args.points:
             if not args.experiment:
                 profile_parser.error("--points needs an experiment id")
@@ -222,6 +257,17 @@ def main(argv: list[str] | None = None) -> int:
             print("[profile] built-in smoke workload (zn540_small)")
             print(f"[profile] {events} events in {wall_s * 1e3:.1f} ms "
                   f"({events / wall_s:,.0f} events/sec)")
+            if args.by_layer:
+                from .obs.profile import run_self_profile_by_layer
+
+                _shares, layer_table = run_self_profile_by_layer()
+                print(breakdown.table())
+                print()
+                print(layer_table)
+                if args.trace:
+                    count = tracer.write_jsonl(args.trace)
+                    print(f"[trace] {count} events -> {args.trace}")
+                return 0
         elif args.experiment:
             config = _config_from_args(args)
             tracer, breakdown, _result = profile_experiment(
@@ -236,16 +282,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "observations":
+        from .core.observations import run_observation_suite
+
         config = _config_from_args(args)
-        # The experiments the 13 observations consume (fig8 and the
-        # ablations are not observation inputs).
-        ids = ["fig2a", "fig2b", "fig3", "fig4a", "fig4b", "fig4c",
-               "obs9", "fig5a", "fig5b", "fig6", "obs11", "fig7"]
-        if args.skip_interference:
-            for heavy in ("fig6", "obs11", "fig7"):
-                ids.remove(heavy)
-        results = run_experiments(ids, config, verbose=False)
-        checks = check_all(results)
+        checks = run_observation_suite(
+            config, jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache,
+            skip_interference=args.skip_interference,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
         for check in checks:
             print(check)
         print()
@@ -253,9 +298,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if all(c.passed for c in checks) else 1
 
     if args.command == "fidelity":
-        from .emulators import run_fidelity_matrix
+        from .exec import execute_experiments
 
-        print(run_fidelity_matrix().table())
+        config = _config_from_args(args)
+        results, _report = execute_experiments(
+            ["sec4"], config, jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        print(results["sec4"].table())
         return 0
 
     if args.command == "bench":
@@ -273,6 +324,7 @@ def main(argv: list[str] | None = None) -> int:
             ids = args.ids or None
         doc = bench.run_bench(
             ids, config, jobs=args.jobs, cache_dir=args.cache,
+            reps=args.reps,
             progress=lambda message: print(message, file=sys.stderr),
         )
         baseline = bench.load(args.baseline) if args.baseline else None

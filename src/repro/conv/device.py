@@ -7,27 +7,32 @@ collection. GC relocation traffic flows through the same dies as user
 I/O at the same priority — producing exactly the §III-F phenomena: user
 write throughput swinging between a few MiB/s and the device limit, and
 read tail latencies inflated by orders of magnitude.
+
+The shared mechanics literally are the ZNS device's: both models extend
+:class:`repro.device.core.DeviceCore` (controller front-end, completion
+path, write buffer, flush tail) and draw precomputed per-request costs
+from the shared :class:`repro.device.planner.RequestPlanner`; this
+module holds only the FTL and GC machinery (DESIGN.md §11).
 """
 
 from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..device.core import PRIO_IO, DeviceCore, DeviceCounters
 from ..flash.backend import FlashBackend
-from ..hostif.commands import Command, Completion, Opcode
-from ..hostif.namespace import LBA_4K, LbaFormat, Namespace
+from ..hostif.commands import Command, Opcode
+from ..hostif.namespace import LBA_4K, LbaFormat
 from ..hostif.status import Status
-from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_NS, MetricsRegistry
-from ..obs.tracer import Tracer, resolve_tracer
-from ..sim.engine import Event, Simulator
-from ..sim.resources import Container, Resource
-from ..sim.rng import LatencySampler, StreamFactory
-from ..zns.device import PRIO_IO, DeviceCounters
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
+from ..sim.engine import Simulator
+from ..sim.rng import StreamFactory
 from ..zns.profiles import DeviceProfile
 from .ftl import FtlFullError, PageMappedFtl
 from .gc import GcPolicy, GcStats
 
-__all__ = ["ConvDevice", "PRIO_GC_URGENT"]
+__all__ = ["ConvDevice", "DeviceCounters", "PRIO_GC_URGENT"]
 
 #: GC only activates below the low free-space watermark, where it must
 #: outrank user traffic at the dies or the (buffer-deep) backlog of user
@@ -37,8 +42,10 @@ __all__ = ["ConvDevice", "PRIO_GC_URGENT"]
 PRIO_GC_URGENT = -1
 
 
-class ConvDevice:
+class ConvDevice(DeviceCore):
     """A conventional SSD: page-mapped FTL + greedy GC over shared flash."""
+
+    kind = "conv"
 
     def __init__(
         self,
@@ -52,39 +59,20 @@ class ConvDevice:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
-        self.sim = sim
-        self.profile = profile
-        streams = streams or StreamFactory()
-        self.tracer = resolve_tracer(tracer)
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
-        #: True when the caller asked for observability (same contract as
-        #: ZnsDevice.observing): hot-path metric updates gate on this.
-        self.observing = metrics is not None or self.tracer.enabled
-        self.tracer.register_process(f"conv:{profile.name}")
         self.ftl = PageMappedFtl(profile.geometry, profile.overprovision)
-        page_size = profile.geometry.page_size
-        logical_bytes = self.ftl.logical_pages * page_size
         # Round the namespace down to a whole number of logical pages.
-        self.namespace = Namespace(logical_bytes, lba_format)
+        logical_bytes = self.ftl.logical_pages * profile.geometry.page_size
+        super().__init__(
+            sim, profile, logical_bytes, lba_format, streams or StreamFactory(),
+            tracer, metrics, io_stream="conv-io",
+        )
         self.backend = FlashBackend(
             sim, profile.geometry, profile.nand, profile.channel_bandwidth,
             tracer=self.tracer,
             metrics=self.metrics if self.observing else None,
         )
-        self.controller = Resource(sim, capacity=1, name="controller")
-        self.buffer = Container(sim, capacity=profile.write_buffer_bytes, name="wbuf")
-        self._io_jitter = LatencySampler(streams.stream("conv-io"), profile.jitter_sigma)
-        self.counters = DeviceCounters(self.metrics)
-        self._latency_hist = {
-            op: self.metrics.histogram(
-                f"device.latency_ns.{op.value}", DEFAULT_LATENCY_BUCKETS_NS
-            )
-            for op in Opcode
-        }
-        self._wbuf_gauge = self.metrics.gauge("device.wbuf.level_bytes")
         self._gc_victim_counter = self.metrics.counter("gc.victims_erased")
         self._gc_copy_counter = self.metrics.counter("gc.pages_copied")
-        self.last_cid = 0
         self.gc_policy = gc_policy or GcPolicy(
             profile.gc_low_watermark, profile.gc_high_watermark
         )
@@ -109,28 +97,24 @@ class ConvDevice:
         sim.process(self._gc_loop(), name="conv-gc")
 
     # ------------------------------------------------------------------ api
-    def submit(self, command: Command) -> Event:
-        if command.submitted_at < 0:
-            command.submitted_at = self.sim.now
-        cid = (
-            self.tracer.begin_command(command.opcode.value)
-            if self.tracer.enabled
-            else 0
+    def _dispatch(self, command: Command, cid: int) -> Generator:
+        opcode = command.opcode
+        if opcode is Opcode.READ:
+            return self._exec_read(command, cid)
+        elif opcode is Opcode.WRITE:
+            return self._exec_write(command, cid)
+        elif opcode is Opcode.TRIM:
+            return self._exec_trim(command, cid)
+        raise ValueError(
+            f"conventional device does not support {command.opcode.value}"
         )
-        self.last_cid = cid
-        if command.opcode is Opcode.READ:
-            gen = self._exec_read(command, cid)
-        elif command.opcode is Opcode.WRITE:
-            gen = self._exec_write(command, cid)
-        elif command.opcode is Opcode.TRIM:
-            gen = self._exec_trim(command, cid)
-        else:
-            raise ValueError(
-                f"conventional device does not support {command.opcode.value}"
+
+    def _require_reformattable(self) -> None:
+        if self._gc_running or self.buffer.level:
+            raise RuntimeError(
+                "reformat requires a quiescent device: buffered writes or "
+                "GC in flight; run the simulator to exhaustion first"
             )
-        # The process event is the completion event (the generator returns
-        # the Completion) — one event per command instead of two.
-        return self.sim.process(gen)
 
     def precondition(self, utilization: float = 1.0,
                      steady_state_churn: float = 0.0, seed: int = 99) -> None:
@@ -175,97 +159,76 @@ class ConvDevice:
             self.ftl.erase(victim)
 
     # ----------------------------------------------------------------- paths
-    def _complete(self, command: Command, status: Status, nbytes: int = 0,
-                  cid: int = 0) -> Completion:
-        completion = Completion(command=command, status=status, completed_at=self.sim.now)
-        self.counters.record(completion, nbytes)
-        if self.observing and status.ok and command.submitted_at >= 0:
-            self._latency_hist[command.opcode].observe(
-                self.sim.now - command.submitted_at
-            )
-        if self.tracer.enabled:
-            self.tracer.span(
-                "command", command.opcode.value,
-                command.submitted_at if command.submitted_at >= 0 else self.sim.now,
-                self.sim.now, track="commands", cid=cid,
-                opcode=command.opcode.value, status=status.value,
-                slba=command.slba, nlb=command.nlb,
-            )
-        return completion
-
-    def _controller_service(self, service_ns: int, cid: int = 0) -> Generator:
-        traced = self.tracer.enabled
-        queued_at = self.sim.now if traced else 0
-        req = self.controller.request(PRIO_IO)
-        yield req
-        granted_at = self.sim.now if traced else 0
-        yield self.sim.timeout(self._io_jitter.jitter(service_ns))
-        self.controller.release(req)
-        if traced:
-            if granted_at > queued_at:
-                self.tracer.span("queue", "controller.wait", queued_at,
-                                 granted_at, track="controller", cid=cid)
-            self.tracer.span("controller", "controller.service", granted_at,
-                             self.sim.now, track="controller", cid=cid)
-
-    def _pages_spanned(self, command: Command) -> range:
-        page_size = self.profile.geometry.page_size
-        start = self.namespace.bytes_of(command.slba)
-        end = start + self.namespace.bytes_of(command.nlb)
-        return range(start // page_size, -(-end // page_size))
-
     def _exec_read(self, command: Command, cid: int = 0) -> Generator:
-        nbytes = self.namespace.bytes_of(command.nlb)
-        service = self.profile.cmd_service_ns(
-            Opcode.READ, nbytes, command.nlb, self.namespace.block_size
-        )
-        yield from self._controller_service(service, cid)
-        if command.slba + command.nlb > self.namespace.capacity_lbas:
+        shape = self._read_shapes.get(command.nlb)
+        if shape is None:
+            shape = self.planner.io_shape(Opcode.READ, command.nlb)
+        if self.tracer.enabled:
+            yield from self._controller_service(shape.service_ns, cid)
+        else:
+            # Untraced fast path: the controller handshake inlined (same
+            # events in the same order as _controller_service).
+            req = self.controller.request(PRIO_IO)
+            yield req
+            yield self.sim.timeout(self._io_jitter.jitter(shape.service_ns))
+            self.controller.release(req)
+        if command.slba + command.nlb > self._capacity_lbas:
             return self._complete(command, Status.LBA_OUT_OF_RANGE, cid=cid)
+        start_page, n_pages, take = self.planner.page_plan(command.slba, command.nlb)
         nand_started = self.sim.now if self.tracer.enabled else 0
+        sim = self.sim
+        lookup = self.ftl.lookup
+        die_of = self.ftl.die_of_physical
+        read_page = self.backend.read_page
         reads = []
-        for logical in self._pages_spanned(command):
-            physical = self.ftl.lookup(logical)
+        for logical in range(start_page, start_page + n_pages):
+            physical = lookup(logical)
             if physical is None:
                 continue  # unwritten data: served from the map, no NAND
-            die = self.ftl.die_of_physical(physical)
-            take = min(self.profile.geometry.page_size, nbytes)
             reads.append(
-                self.sim.process(
-                    self.backend.read_page(die, priority=PRIO_IO,
-                                           transfer_bytes=take, cid=cid)
+                sim.process(
+                    read_page(die_of(physical), priority=PRIO_IO,
+                              transfer_bytes=take, cid=cid)
                 )
             )
         if len(reads) == 1:
             yield reads[0]
         elif reads:
-            yield self.sim.all_of(reads)
+            yield sim.all_of(reads)
             if self.tracer.enabled:
                 self.tracer.span("nand", "read.fanout", nand_started,
                                  self.sim.now, track="nand", cid=cid,
                                  dies=len(reads))
-        return self._complete(command, Status.SUCCESS, nbytes=nbytes, cid=cid)
+        return self._complete(command, Status.SUCCESS, nbytes=shape.nbytes, cid=cid)
 
     def _exec_write(self, command: Command, cid: int = 0) -> Generator:
-        nbytes = self.namespace.bytes_of(command.nlb)
-        service = self.profile.cmd_service_ns(
-            Opcode.WRITE, nbytes, command.nlb, self.namespace.block_size
-        )
-        yield from self._controller_service(service, cid)
-        if command.slba + command.nlb > self.namespace.capacity_lbas:
+        shape = self._write_shapes.get(command.nlb)
+        if shape is None:
+            shape = self.planner.io_shape(Opcode.WRITE, command.nlb)
+        if self.tracer.enabled:
+            yield from self._controller_service(shape.service_ns, cid)
+        else:
+            req = self.controller.request(PRIO_IO)
+            yield req
+            yield self.sim.timeout(self._io_jitter.jitter(shape.service_ns))
+            self.controller.release(req)
+        if command.slba + command.nlb > self._capacity_lbas:
             return self._complete(command, Status.LBA_OUT_OF_RANGE, cid=cid)
-        pages = list(self._pages_spanned(command))
-        flash_bytes = len(pages) * self.profile.geometry.page_size
+        nbytes = shape.nbytes
+        start_page, n_pages, _ = self.planner.page_plan(command.slba, command.nlb)
+        flash_bytes = n_pages * self._page_size
         admit_started = self.sim.now if self.tracer.enabled else 0
-        yield self.sim.timeout(self.profile.dma_ns(nbytes) + self.profile.write_admit_ns)
+        yield self.sim.timeout(shape.admit_ns)
         yield self.buffer.put(flash_bytes)
         if self.observing:
             self._wbuf_gauge.set(self.buffer.level)
         if self.tracer.enabled:
             self.tracer.span("buffer", "write.admit", admit_started,
                              self.sim.now, track="buffer", cid=cid, nbytes=nbytes)
-        for logical in pages:
-            self.sim.process(self._flush_page(logical))
+        start_process = self.sim.process
+        flush = self._flush_page
+        for logical in range(start_page, start_page + n_pages):
+            start_process(flush(logical))
         self._maybe_wake_gc()
         return self._complete(command, Status.SUCCESS, nbytes=nbytes, cid=cid)
 
@@ -280,11 +243,7 @@ class ConvDevice:
                 # the mechanism behind Fig. 6a's throughput collapses.
                 self._maybe_wake_gc()
                 yield self._space_freed
-        die = self.ftl.die_of_physical(physical)
-        yield from self.backend.program_page(die, priority=PRIO_IO, label="flush")
-        yield self.buffer.get(self.profile.geometry.page_size)
-        if self.observing:
-            self._wbuf_gauge.set(self.buffer.level)
+        yield from self._flush_page_to_die(self.ftl.die_of_physical(physical))
 
     def _exec_trim(self, command: Command, cid: int = 0) -> Generator:
         """NVMe deallocate: unmap pages so GC can reclaim them for free.
@@ -293,16 +252,19 @@ class ConvDevice:
         the number of mapped pages it touches (the paper cites trim's
         metadata overheads when explaining reset cost, §III-E). We model
         it as per-page mapping updates on the controller.
+
+        (The service-time class is deliberately the WRITE formula: trim
+        rides the write command path on real controllers.)
         """
-        nbytes = self.namespace.bytes_of(command.nlb)
-        service = self.profile.cmd_service_ns(
-            Opcode.WRITE, nbytes, command.nlb, self.namespace.block_size
-        )
-        yield from self._controller_service(service, cid)
-        if command.slba + command.nlb > self.namespace.capacity_lbas:
+        shape = self._write_shapes.get(command.nlb)
+        if shape is None:
+            shape = self.planner.io_shape(Opcode.WRITE, command.nlb)
+        yield from self._controller_service(shape.service_ns, cid)
+        if command.slba + command.nlb > self._capacity_lbas:
             return self._complete(command, Status.LBA_OUT_OF_RANGE, cid=cid)
+        start_page, n_pages, _ = self.planner.page_plan(command.slba, command.nlb)
         unmapped = 0
-        for logical in self._pages_spanned(command):
+        for logical in range(start_page, start_page + n_pages):
             if self.ftl.trim(logical):
                 unmapped += 1
         # Mapping-table updates: same per-LBA cost class as the ZNS

@@ -68,6 +68,15 @@ class ExperimentPlan:
     #: notes/meta). ``None`` marks a single-point plan whose payload
     #: carries the whole serialized result.
     describe: Optional[Callable[[ExperimentConfig], dict]] = None
+    #: Optional in-process post-assembly hook: ``fold(result, config,
+    #: payloads)`` runs after the rows/series fold, always in the
+    #: assembling process. Cross-point derivations (verdicts comparing
+    #: every point against a reference point) and non-JSON-able values
+    #: (int-keyed dicts, which a JSON round-trip would stringify)
+    #: belong here rather than in the point payloads.
+    fold: Optional[
+        Callable[[ExperimentResult, ExperimentConfig, list], None]
+    ] = None
 
 
 def point_label(params: dict) -> str:
@@ -128,6 +137,8 @@ def assemble(
             result.series.setdefault(key, []).extend(
                 tuple(pair) for pair in pairs
             )
+    if plan.fold is not None:
+        plan.fold(result, config, payloads)
     return result
 
 
@@ -157,9 +168,18 @@ def single_point_plan(
     return ExperimentPlan(experiment_id, _plan, _point, None)
 
 
-def experiment_plans() -> dict[str, ExperimentPlan]:
+def experiment_plans(auxiliary: bool = False) -> dict[str, ExperimentPlan]:
     """Experiment id → plan, in paper order (lazy imports, like the
-    legacy runner registry in :mod:`repro.core.report`)."""
+    legacy runner registry in :mod:`repro.core.report`).
+
+    ``auxiliary=True`` appends the plans that are not part of the
+    default ``repro run`` suite — today the §IV emulator-fidelity
+    matrix (``sec4``), which sweeps latency *models* rather than device
+    workloads. The execution engine resolves ids against the auxiliary
+    registry so ``repro fidelity`` shares the cache/worker machinery,
+    while the default id list (and default ``repro run`` output) stays
+    the 19 paper experiments.
+    """
     from .ablations import (
         ABLATION_APPEND_COST_PLAN,
         ABLATION_BUFFER_PLAN,
@@ -196,4 +216,8 @@ def experiment_plans() -> dict[str, ExperimentPlan]:
         ABLATION_GEOMETRY_PLAN,
         ABLATION_ZONE_SIZE_PLAN,
     ]
+    if auxiliary:
+        from ...emulators.fidelity import FIDELITY_PLAN
+
+        plans.append(FIDELITY_PLAN)
     return {plan.experiment_id: plan for plan in plans}

@@ -15,11 +15,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from .results import ExperimentResult, render_table
+from .results import ExperimentResult
 
-__all__ = ["ObservationCheck", "OBSERVATION_SUMMARIES", "check_all"] + [
-    f"check_obs{i}" for i in range(1, 14)
-]
+__all__ = [
+    "INTERFERENCE_EXPERIMENTS",
+    "OBSERVATION_EXPERIMENTS",
+    "OBSERVATION_SUMMARIES",
+    "ObservationCheck",
+    "check_all",
+    "run_observation_suite",
+] + [f"check_obs{i}" for i in range(1, 14)]
+
+#: The experiments the 13 observations consume, in paper order (fig8
+#: and the ablations are not observation inputs).
+OBSERVATION_EXPERIMENTS = (
+    "fig2a", "fig2b", "fig3", "fig4a", "fig4b", "fig4c",
+    "obs9", "fig5a", "fig5b", "fig6", "obs11", "fig7",
+)
+
+#: The minutes-long interference timelines (``--skip-interference``).
+INTERFERENCE_EXPERIMENTS = ("fig6", "obs11", "fig7")
 
 OBSERVATION_SUMMARIES = {
     1: "The LBA format significantly impacts write and append latency",
@@ -258,3 +273,30 @@ def check_all(results: dict[str, ExperimentResult]) -> list[ObservationCheck]:
         if all(k in results for k in needed):
             checks.append(fn(*(results[k] for k in needed)))
     return checks
+
+
+def run_observation_suite(
+    config=None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    skip_interference: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[ObservationCheck]:
+    """Run the observation-input experiments through the execution
+    engine and evaluate every observation those results support.
+
+    This is what ``repro observations`` calls: the input experiments
+    fan out over ``jobs`` worker processes and replay from the point
+    cache, with checks identical to a serial run (the engine assembles
+    byte-identical results at any job count).
+    """
+    from ..exec import execute_experiments  # lazy: exec imports core
+
+    ids = [
+        exp_id for exp_id in OBSERVATION_EXPERIMENTS
+        if not (skip_interference and exp_id in INTERFERENCE_EXPERIMENTS)
+    ]
+    results, _report = execute_experiments(
+        ids, config, jobs=jobs, cache_dir=cache_dir, progress=progress,
+    )
+    return check_all(results)

@@ -1,0 +1,251 @@
+"""The shared device core under both SSD models.
+
+The paper's central comparison runs a ZNS device (ZN540) and a
+conventional device (SN640) with *the same hardware* under identical
+host stacks; the simulated models mirror that by sharing one controller
+pipeline. :class:`DeviceCore` owns everything the two models used to
+duplicate:
+
+* the **controller front-end** (single-server resource + per-command
+  service time + jitter) and its trace spans,
+* the **completion path** — :meth:`_complete` stamps the completion,
+  feeds :class:`DeviceCounters`, the latency histograms, and the
+  command trace span,
+* the capacitor-backed **write buffer** and the per-die flush tail
+  (:meth:`_flush_page_to_die`: program the page, drain the buffer),
+* the :class:`~repro.device.planner.RequestPlanner` that memoizes
+  per-request-shape plans, and the ``reformat`` hook that invalidates
+  them when the namespace LBA format changes.
+
+:class:`~repro.zns.device.ZnsDevice` and
+:class:`~repro.conv.device.ConvDevice` are specializations holding only
+what genuinely differs: the zone state machine + firmware management
+engine on one side, the page-mapped FTL + garbage collector on the
+other. ``DeviceCounters`` (and the priority constants) continue to be
+re-exported from both historical module paths.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..hostif.commands import Command, Completion, Opcode
+from ..hostif.namespace import LbaFormat, Namespace
+from ..hostif.status import Status
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_NS, Counter, MetricsRegistry
+from ..obs.tracer import Tracer, resolve_tracer
+from ..sim.engine import Event, Simulator
+from ..sim.resources import Container, Resource
+from ..sim.rng import LatencySampler, StreamFactory
+from ..zns.profiles import DeviceProfile
+from .planner import RequestPlanner
+
+__all__ = ["DeviceCore", "DeviceCounters", "PRIO_IO", "PRIO_MGMT"]
+
+#: Firmware/flash scheduling priorities (lower value served first).
+PRIO_IO = 0
+PRIO_MGMT = 10
+
+
+class DeviceCounters:
+    """Completion accounting, backed by a :class:`MetricsRegistry`.
+
+    Historically this held plain dicts; the registry is now the single
+    source of truth and the dict-style attributes (``completed``,
+    ``errors``, ``bytes_written``, ``bytes_read``) are read-only views
+    kept for the existing callers and tests.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._completed = {
+            op: self.metrics.counter(f"device.completed.{op.value}")
+            for op in Opcode
+        }
+        self._bytes_written = self.metrics.counter("device.bytes_written")
+        self._bytes_read = self.metrics.counter("device.bytes_read")
+        self._errors: dict[Status, Counter] = {}
+
+    def record(self, completion: Completion, nbytes: int) -> None:
+        if completion.ok:
+            # Direct ``.value`` bumps (amounts are known non-negative):
+            # this runs once per completed command even with observability
+            # disabled, so it must stay as close to a plain ``+=`` as the
+            # registry backing allows.
+            opcode = completion.command.opcode
+            self._completed[opcode].value += 1
+            if opcode in (Opcode.WRITE, Opcode.APPEND):
+                self._bytes_written.value += nbytes
+            elif opcode is Opcode.READ:
+                self._bytes_read.value += nbytes
+        else:
+            counter = self._errors.get(completion.status)
+            if counter is None:
+                counter = self.metrics.counter(
+                    f"device.errors.{completion.status.value}"
+                )
+                self._errors[completion.status] = counter
+            counter.inc()
+
+    @property
+    def completed(self) -> dict[Opcode, int]:
+        return {op: counter.value for op, counter in self._completed.items()}
+
+    @property
+    def errors(self) -> dict[Status, int]:
+        return {status: c.value for status, c in self._errors.items() if c.value}
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written.value
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes_read.value
+
+
+class DeviceCore:
+    """Shared controller pipeline; subclasses add the media-side model."""
+
+    #: Trace-process name prefix; subclasses override ("zns" / "conv").
+    kind = "device"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        capacity_bytes: int,
+        lba_format: LbaFormat,
+        streams: StreamFactory,
+        tracer: Optional[Tracer],
+        metrics: Optional[MetricsRegistry],
+        io_stream: str,
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: True when the caller asked for observability. Hot paths gate
+        #: per-command histogram/gauge updates on this so default runs
+        #: pay only the always-on DeviceCounters facade.
+        self.observing = metrics is not None or self.tracer.enabled
+        self.tracer.register_process(f"{self.kind}:{profile.name}")
+        self.namespace = Namespace(capacity_bytes, lba_format)
+        self.controller = Resource(sim, capacity=1, name="controller")
+        self.buffer = Container(sim, capacity=profile.write_buffer_bytes, name="wbuf")
+        self._io_jitter = LatencySampler(streams.stream(io_stream), profile.jitter_sigma)
+        self.counters = DeviceCounters(self.metrics)
+        self._latency_hist = {
+            op: self.metrics.histogram(
+                f"device.latency_ns.{op.value}", DEFAULT_LATENCY_BUCKETS_NS
+            )
+            for op in Opcode
+        }
+        self._wbuf_gauge = self.metrics.gauge("device.wbuf.level_bytes")
+        #: Command id of the most recent ``submit`` (host stacks read it
+        #: to tie their own spans to the device-assigned trace id).
+        self.last_cid = 0
+        self._page_size = profile.geometry.page_size
+        self.planner = RequestPlanner(profile, self.namespace)
+        #: Live ``nlb -> IoShape`` maps (one dict per opcode) for the
+        #: generator hot paths; re-fetched by :meth:`_bind_plan_caches`
+        #: whenever the planner invalidates.
+        self._read_shapes: dict = {}
+        self._write_shapes: dict = {}
+        self._bind_plan_caches()
+
+    # --------------------------------------------------------------- planner
+    def _bind_plan_caches(self) -> None:
+        """(Re)fetch the planner's live lookup tables after (re)binding."""
+        self._read_shapes = self.planner.shape_map(Opcode.READ)
+        self._write_shapes = self.planner.shape_map(Opcode.WRITE)
+        self._block_size = self.namespace.block_size
+        self._capacity_lbas = self.namespace.capacity_lbas
+
+    def reformat(self, lba_format: LbaFormat) -> None:
+        """NVMe ``Format NVM``: swap the LBA format and drop all plans.
+
+        Requires a quiescent, logically-empty device — reformatting
+        destroys the data anyway, so the models only support it as a
+        between-experiments fixture. Every cached request plan keys on
+        the LBA size and is invalidated.
+        """
+        self._require_reformattable()
+        self.namespace = Namespace(self.namespace.capacity_bytes, lba_format)
+        self.planner.invalidate(self.namespace)
+        self._after_reformat()
+        self._bind_plan_caches()
+
+    def _require_reformattable(self) -> None:
+        """Subclass veto hook (in-flight commands, non-empty zones...)."""
+
+    def _after_reformat(self) -> None:
+        """Subclass hook: rebuild LBA-denominated state (zone tables...)."""
+
+    # ------------------------------------------------------------------ api
+    def submit(self, command: Command) -> Event:
+        """Begin executing a command; the event fires with a Completion."""
+        if command.submitted_at < 0:
+            command.submitted_at = self.sim.now
+        cid = (
+            self.tracer.begin_command(command.opcode.value)
+            if self.tracer.enabled
+            else 0
+        )
+        self.last_cid = cid
+        # The process event itself is the completion event (the generator
+        # returns the Completion): one event instead of a done-event plus
+        # a never-watched process event per command.
+        return self.sim.process(self._dispatch(command, cid))
+
+    def _dispatch(self, command: Command, cid: int) -> Generator:
+        """Map an opcode to its executor generator (model-specific)."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- helpers
+    def _complete(self, command: Command, status: Status,
+                  nbytes: int = 0, assigned_lba: Optional[int] = None,
+                  cid: int = 0) -> Completion:
+        completion = Completion(
+            command=command,
+            status=status,
+            completed_at=self.sim.now,
+            assigned_lba=assigned_lba,
+        )
+        self.counters.record(completion, nbytes)
+        if self.observing and status.ok and command.submitted_at >= 0:
+            self._latency_hist[command.opcode].observe(
+                self.sim.now - command.submitted_at
+            )
+        if self.tracer.enabled:
+            self.tracer.span(
+                "command", command.opcode.value,
+                command.submitted_at if command.submitted_at >= 0 else self.sim.now,
+                self.sim.now, track="commands", cid=cid,
+                opcode=command.opcode.value, status=status.value,
+                slba=command.slba, nlb=command.nlb,
+            )
+        return completion
+
+    def _controller_service(self, service_ns: int, cid: int = 0) -> Generator:
+        traced = self.tracer.enabled
+        queued_at = self.sim.now if traced else 0
+        req = self.controller.request(PRIO_IO)
+        yield req
+        granted_at = self.sim.now if traced else 0
+        yield self.sim.timeout(self._io_jitter.jitter(service_ns))
+        self.controller.release(req)
+        if traced:
+            if granted_at > queued_at:
+                self.tracer.span("queue", "controller.wait", queued_at,
+                                 granted_at, track="controller", cid=cid)
+            self.tracer.span("controller", "controller.service", granted_at,
+                             self.sim.now, track="controller", cid=cid)
+
+    # -------------------------------------------------------------- flushing
+    def _flush_page_to_die(self, die: int) -> Generator:
+        """Program one buffered page to a die, then drain the buffer."""
+        yield from self.backend.program_page(die, priority=PRIO_IO, label="flush")
+        yield self.buffer.get(self._page_size)
+        if self.observing:
+            self._wbuf_gauge.set(self.buffer.level)

@@ -1,0 +1,246 @@
+"""Precomputed request plans: the device hot paths as table lookups.
+
+Both SSD models execute millions of commands whose *shape* — opcode,
+block count, alignment within the stripe — repeats endlessly while the
+per-command arithmetic (service-time formula, DMA cost, die-span
+derivation) was recomputed from scratch inside every generator body.
+The :class:`RequestPlanner` memoizes that arithmetic into immutable
+plans so the generator bodies shrink to dictionary lookups plus yields:
+
+* :class:`IoShape` — per-``(opcode, nlb)`` costs: request bytes, nominal
+  controller service time, buffer-admission time (DMA + admit [+ append
+  allocation]), and the post-completion firmware mapping-update debt.
+* :meth:`RequestPlanner.read_spans` — the ZNS read fan-out set
+  ``((die, bytes), ...)`` keyed by ``(zone stripe class, offset mod
+  stripe period, nbytes)``. Zone striping is periodic: two zones with
+  the same die group and rotation serve byte-identical spans, and a
+  span's die list repeats every ``stripe_width`` pages — so a handful
+  of cached plans cover every read a workload can issue.
+* :meth:`RequestPlanner.die_for_page` — O(1) flush-target lookup from a
+  per-zone stripe table (replacing the modular arithmetic chain in
+  :meth:`~repro.zns.ftl.ZoneStriping.die_for_page`).
+* :meth:`RequestPlanner.page_plan` — the conventional model's page-span
+  geometry ``(start page, page count, per-page transfer)`` keyed by
+  ``(offset in page, nbytes)``.
+
+Plans depend only on the device profile, the stripe layout, and the
+namespace LBA format; all are fixed for a device's lifetime **except**
+the LBA format, which an NVMe ``Format NVM`` may change. Reformatting
+(:meth:`~repro.device.core.DeviceCore.reformat`) therefore calls
+:meth:`invalidate`, which drops every cached plan. ``plans_built`` /
+``invalidations`` expose the cache dynamics to tests and the profiler.
+
+Every plan value is computed by exactly the expressions the generator
+bodies used inline, so planned execution is byte-identical to the
+pre-planner device models (enforced by the determinism suite and the
+golden tables under ``tests/golden/``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..hostif.commands import Opcode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hostif.namespace import Namespace
+    from ..zns.ftl import ZoneStriping
+    from ..zns.profiles import DeviceProfile
+
+__all__ = ["IoShape", "RequestPlanner"]
+
+
+class IoShape:
+    """Immutable per-request-shape cost vector (one per ``(opcode, nlb)``)."""
+
+    __slots__ = ("opcode", "nlb", "nbytes", "service_ns", "admit_ns", "fw_ns")
+
+    def __init__(self, opcode: Opcode, nlb: int, nbytes: int,
+                 service_ns: int, admit_ns: int, fw_ns: int):
+        self.opcode = opcode
+        self.nlb = nlb
+        #: Host-visible transfer size (``nlb`` × LBA size).
+        self.nbytes = nbytes
+        #: Nominal controller service time (pre-jitter).
+        self.service_ns = service_ns
+        #: DMA + buffer-admission time (writes/appends; 0 for reads).
+        self.admit_ns = admit_ns
+        #: Firmware mapping-update debt one completion generates.
+        self.fw_ns = fw_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IoShape({self.opcode.value}, nlb={self.nlb}, "
+                f"nbytes={self.nbytes}, service_ns={self.service_ns})")
+
+
+class RequestPlanner:
+    """Memoizes immutable request plans for one device instance."""
+
+    __slots__ = (
+        "profile", "namespace", "striping", "plans_built", "invalidations",
+        "_shapes", "_spans", "_zone_tables", "_tables_by_key",
+        "_page_size", "_stripe_width", "_period", "_block_size",
+    )
+
+    def __init__(self, profile: "DeviceProfile", namespace: "Namespace",
+                 striping: Optional["ZoneStriping"] = None):
+        self.profile = profile
+        self.striping = None
+        self._page_size = profile.geometry.page_size
+        self._stripe_width = 0
+        self._period = 0
+        #: Plans computed (cache misses) / cache wipes, cumulative.
+        self.plans_built = 0
+        self.invalidations = 0
+        self._shapes: dict[Opcode, dict[int, IoShape]] = {}
+        self._spans: dict = {}
+        self._zone_tables: dict[int, tuple] = {}
+        self._tables_by_key: dict[int, tuple] = {}
+        if striping is not None:
+            self.bind_striping(striping)
+        self.rebind(namespace)
+
+    # ------------------------------------------------------------- lifecycle
+    def bind_striping(self, striping: "ZoneStriping") -> None:
+        """Attach the zone stripe layout (ZNS devices only)."""
+        self.striping = striping
+        self._stripe_width = striping.stripe_width
+        self._period = striping.stripe_width * self._page_size
+        self._spans.clear()
+        self._zone_tables.clear()
+        self._tables_by_key.clear()
+
+    def rebind(self, namespace: "Namespace") -> None:
+        """Point the planner at a (possibly reformatted) namespace."""
+        self.namespace = namespace
+        self._block_size = namespace.block_size
+        self._shapes = {op: {} for op in Opcode}
+
+    def invalidate(self, namespace: Optional["Namespace"] = None) -> None:
+        """Drop every cached plan (namespace reformat, layout change)."""
+        self.invalidations += 1
+        self._spans.clear()
+        self._zone_tables.clear()
+        self._tables_by_key.clear()
+        self.rebind(namespace if namespace is not None else self.namespace)
+
+    @property
+    def cached_plans(self) -> int:
+        """Plans currently held (shapes + spans + stripe tables)."""
+        return (sum(len(d) for d in self._shapes.values())
+                + len(self._spans) + len(self._tables_by_key))
+
+    # ---------------------------------------------------------------- shapes
+    def shape_map(self, opcode: Opcode) -> dict[int, "IoShape"]:
+        """The live ``nlb -> IoShape`` dict for one opcode.
+
+        Hot paths hold this dict directly and fall back to
+        :meth:`io_shape` on a miss; the planner never replaces the dict
+        in place except through :meth:`invalidate`/:meth:`rebind` (after
+        which callers must re-fetch it).
+        """
+        return self._shapes[opcode]
+
+    def io_shape(self, opcode: Opcode, nlb: int) -> IoShape:
+        """The cost vector for an ``(opcode, nlb)`` request shape."""
+        by_nlb = self._shapes[opcode]
+        shape = by_nlb.get(nlb)
+        if shape is None:
+            shape = self._build_shape(opcode, nlb)
+            by_nlb[nlb] = shape
+            self.plans_built += 1
+        return shape
+
+    def _build_shape(self, opcode: Opcode, nlb: int) -> IoShape:
+        profile = self.profile
+        nbytes = self.namespace.bytes_of(nlb)
+        service_ns = profile.cmd_service_ns(opcode, nbytes, nlb, self._block_size)
+        if opcode is Opcode.WRITE:
+            admit_ns = profile.dma_ns(nbytes) + profile.write_admit_ns
+        elif opcode is Opcode.APPEND:
+            admit_ns = (profile.dma_ns(nbytes) + profile.write_admit_ns
+                        + profile.append_alloc_ns)
+        else:
+            admit_ns = 0
+        if opcode in (Opcode.READ, Opcode.WRITE, Opcode.APPEND):
+            fw_ns = profile.fw_io_ns(opcode)
+        else:
+            fw_ns = 0
+        return IoShape(opcode, nlb, nbytes, service_ns, admit_ns, fw_ns)
+
+    # ----------------------------------------------------------- ZNS striping
+    def zone_table(self, zone_index: int) -> tuple:
+        """Per-zone stripe table: ``table[page % len(table)]`` is the die."""
+        table = self._zone_tables.get(zone_index)
+        if table is None:
+            die0 = self.striping.die_for_page(zone_index, 0)
+            # Zones with the same first die share the whole table (the
+            # first die encodes both the die group and the rotation).
+            table = self._tables_by_key.get(die0)
+            if table is None:
+                table = tuple(
+                    self.striping.die_for_page(zone_index, page)
+                    for page in range(self._stripe_width)
+                )
+                self._tables_by_key[die0] = table
+                self.plans_built += 1
+            self._zone_tables[zone_index] = table
+        return table
+
+    def die_for_page(self, zone_index: int, zone_page: int) -> int:
+        """Flush-target die for the ``zone_page``-th page of a zone."""
+        table = self._zone_tables.get(zone_index)
+        if table is None:
+            table = self.zone_table(zone_index)
+        return table[zone_page % self._stripe_width]
+
+    def read_spans(self, zone_index: int, offset_bytes: int,
+                   nbytes: int) -> tuple:
+        """The read fan-out set ``((die, bytes), ...)`` for a zone span.
+
+        Identical to :meth:`ZoneStriping.dies_for_span` output (tuples,
+        not lists), memoized on ``(stripe class, offset mod stripe
+        period, nbytes)`` — striping is periodic, so the canonical
+        offset's span list is exact for every member of the class.
+        """
+        table = self._zone_tables.get(zone_index)
+        if table is None:
+            table = self.zone_table(zone_index)
+        key = (table[0], offset_bytes % self._period, nbytes)
+        spans = self._spans.get(key)
+        if spans is None:
+            page_size = self._page_size
+            width = self._stripe_width
+            parts = []
+            cursor = key[1]
+            end = cursor + nbytes
+            while cursor < end:
+                page = cursor // page_size
+                take = min(end, (page + 1) * page_size) - cursor
+                parts.append((table[page % width], take))
+                cursor += take
+            spans = tuple(parts)
+            self._spans[key] = spans
+            self.plans_built += 1
+        return spans
+
+    # --------------------------------------------------------- conv geometry
+    def page_plan(self, slba: int, nlb: int) -> tuple:
+        """``(start_page, page_count, per_page_take)`` for a flat span.
+
+        The conventional model resolves pages through its FTL at
+        execution time (the mapping is dynamic), so only the geometry —
+        how many flash pages a request touches and how many bytes each
+        contributes to the bus transfer — is precomputable.
+        """
+        start = slba * self._block_size
+        nbytes = nlb * self._block_size
+        key = (start % self._page_size, nbytes)
+        plan = self._spans.get(key)
+        if plan is None:
+            page_size = self._page_size
+            n_pages = -(-(key[0] + nbytes) // page_size)
+            plan = (n_pages, min(page_size, nbytes))
+            self._spans[key] = plan
+            self.plans_built += 1
+        return (start // self._page_size, plan[0], plan[1])

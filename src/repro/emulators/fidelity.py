@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.experiments.points import ExperimentPlan, run_via_points
 from ..hostif.commands import Command, Opcode, ZoneAction
 from ..sim.engine import ms
 from ..stacks.iouring import IoUringStack
@@ -28,7 +29,12 @@ from ..core.results import ExperimentResult
 from .base import EmulatorModel
 from .models import ALL_MODELS, THIS_WORK
 
-__all__ = ["run_fidelity_matrix", "probe_model", "PROBED_OBSERVATIONS"]
+__all__ = [
+    "FIDELITY_PLAN",
+    "PROBED_OBSERVATIONS",
+    "probe_model",
+    "run_fidelity_matrix",
+]
 
 KIB = 1024
 PROBED_OBSERVATIONS = (3, 4, 5, 6, 7, 8, 9, 10, 12, 13)
@@ -243,29 +249,87 @@ def _verdicts(q: dict, ref: dict) -> dict[int, bool]:
     return v
 
 
-def run_fidelity_matrix(models: Optional[tuple[EmulatorModel, ...]] = None) -> ExperimentResult:
-    """The §IV matrix: observation × emulator reproduction verdicts."""
-    models = models or ALL_MODELS
-    ref = probe_model(THIS_WORK)
-    result = ExperimentResult(
-        experiment_id="sec4",
-        title="Emulator fidelity: which observations does each latency model reproduce?",
-        columns=["observation"] + [m.name for m in models],
-        notes=[
+# --------------------------------------------------------------------------
+# the §IV matrix as an ExperimentPlan (one point per latency model)
+# --------------------------------------------------------------------------
+
+def _matrix_skeleton(models: tuple[EmulatorModel, ...]) -> dict:
+    return {
+        "experiment_id": "sec4",
+        "title": "Emulator fidelity: which observations does each latency model reproduce?",
+        "columns": ["observation"] + [m.name for m in models],
+        "notes": [
             "verdict = quantities within tolerance of the calibrated reference model",
             "paper §IV: FEMU reproduces none; NVMeVirt/ConfZNS miss append "
             "(#4-#6) and zone transitions (#9, #10, #12, #13)",
         ],
-    )
+    }
+
+
+def _fold_matrix(
+    result: ExperimentResult,
+    models: tuple[EmulatorModel, ...],
+    quantities: dict[str, dict],
+    ref: dict,
+) -> None:
+    """Verdict rows + meta from per-model quantities (cross-point, so it
+    always runs in the assembling process: the verdict dicts are keyed
+    by *int* observation ids, which a JSON round-trip would stringify)."""
     verdicts = {}
     for model in models:
-        quantities = ref if model is THIS_WORK else probe_model(model)
-        verdicts[model.name] = _verdicts(quantities, ref)
-        result.meta[model.name] = quantities
+        verdicts[model.name] = _verdicts(quantities[model.name], ref)
+        result.meta[model.name] = quantities[model.name]
     for obs in PROBED_OBSERVATIONS:
         row = {"observation": f"#{obs}"}
         for model in models:
             row[model.name] = "yes" if verdicts[model.name].get(obs) else "no"
         result.add_row(**row)
     result.meta["verdicts"] = verdicts
+
+
+def _plan_points(config) -> list:
+    return [{"model": model.name} for model in ALL_MODELS]
+
+
+def _run_point(config, params: dict) -> dict:
+    """Probe one latency model; the probes are config-independent (the
+    §IV matrix is a fixed-seed comparison, not a config sweep)."""
+    model = {m.name: m for m in ALL_MODELS}[params["model"]]
+    return {"quantities": probe_model(model)}
+
+
+def _describe(config) -> dict:
+    return _matrix_skeleton(ALL_MODELS)
+
+
+def _fold(result: ExperimentResult, config, payloads: list) -> None:
+    quantities = {p["quantities"]["name"]: p["quantities"] for p in payloads}
+    _fold_matrix(result, ALL_MODELS, quantities,
+                 ref=quantities[THIS_WORK.name])
+
+
+#: Registered as an *auxiliary* experiment ("sec4"): resolvable by the
+#: execution engine (``repro fidelity --jobs/--cache``) without joining
+#: the default ``repro run`` suite.
+FIDELITY_PLAN = ExperimentPlan("sec4", _plan_points, _run_point, _describe,
+                               fold=_fold)
+
+
+def run_fidelity_matrix(models: Optional[tuple[EmulatorModel, ...]] = None) -> ExperimentResult:
+    """The §IV matrix: observation × emulator reproduction verdicts.
+
+    With the default model set this is the serial reference path over
+    :data:`FIDELITY_PLAN` — exactly what ``repro fidelity`` computes
+    through the execution engine. A ``models`` subset (tests, notebooks)
+    probes only those models against the calibrated reference.
+    """
+    if models is None:
+        return run_via_points(FIDELITY_PLAN)
+    ref = probe_model(THIS_WORK)
+    quantities = {
+        model.name: (ref if model is THIS_WORK else probe_model(model))
+        for model in models
+    }
+    result = ExperimentResult(**_matrix_skeleton(models))
+    _fold_matrix(result, models, quantities, ref)
     return result

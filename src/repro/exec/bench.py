@@ -13,6 +13,16 @@ simulated-event throughput, and the cache hit rate:
   compute — not elapsed time, so the numbers mean the same thing at any
   ``--jobs`` count.
 
+Schema 2 adds rep-to-rep variance: ``--reps N`` runs the whole sweep N
+times and records the sample stdev of each experiment's busy seconds
+and events/sec (``wall_s_stdev`` / ``events_per_s_stdev``, 0.0 when
+``reps == 1``), plus the stdev of the aggregate rate. Repetitions
+always run uncached — a rep served from the cache would carry no
+timing signal — so ``reps > 1`` disables any ``--cache`` directory.
+Simulated event *counts* are deterministic, so only the wall-clock
+side varies across reps; that variance history is what per-experiment
+CI gates need to pick thresholds that outrun runner noise.
+
 A committed benchmark file doubles as a regression gate:
 :func:`compare` checks a fresh run's aggregate ``events_per_s`` against
 the baseline and reports a failure when it drops by more than the
@@ -34,7 +44,7 @@ __all__ = ["BENCH_SCHEMA", "QUICK_IDS", "run_bench", "compare", "render",
            "load"]
 
 #: Bump when the BENCH_sim.json layout changes.
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 #: The ``--quick`` subset: the cheap latency/throughput sweeps that
 #: exercise every stack (SPDK, io_uring ± scheduler) and every opcode
@@ -62,29 +72,78 @@ def _experiment_rows(report: ExecutionReport) -> dict[str, dict[str, Any]]:
     return rows
 
 
+def _stdev(values: list[float]) -> float:
+    """Sample standard deviation; 0.0 below two samples."""
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    return (sum((v - mean) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
 def run_bench(
     ids: Optional[list[str]] = None,
     config: Optional[ExperimentConfig] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    reps: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> dict[str, Any]:
-    """Benchmark the given experiments; returns the BENCH document."""
-    _results, report = execute_experiments(
-        ids, config, jobs=jobs, cache_dir=cache_dir, progress=progress,
-    )
+    """Benchmark the given experiments; returns the BENCH document.
+
+    ``reps > 1`` repeats the whole sweep and reports the mean and the
+    rep-to-rep sample stdev of every timing figure. Repetitions force
+    ``cache_dir=None``: a cache-served rep measures nothing.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    say = progress if progress is not None else (lambda message: None)
+    if reps > 1 and cache_dir is not None:
+        say("[bench] --reps > 1 disables the cache "
+            "(every rep must recompute to carry timing signal)")
+        cache_dir = None
+    reports = []
+    for rep in range(reps):
+        if reps > 1:
+            say(f"[bench] rep {rep + 1}/{reps}")
+        _results, report = execute_experiments(
+            ids, config, jobs=jobs, cache_dir=cache_dir, progress=progress,
+        )
+        reports.append(report)
+
+    # Per-experiment rows: timing figures are means across reps with a
+    # rep-to-rep stdev; structural figures (points, events) are
+    # deterministic and taken from the first rep.
+    per_rep = [_experiment_rows(report) for report in reports]
+    experiments: dict[str, dict[str, Any]] = {}
+    for exp_id, first in per_rep[0].items():
+        walls = [rows[exp_id]["wall_s"] for rows in per_rep]
+        rates = [rows[exp_id]["events_per_s"] for rows in per_rep]
+        experiments[exp_id] = {
+            "points": first["points"],
+            "cache_hits": first["cache_hits"],
+            "events": first["events"],
+            "wall_s": round(sum(walls) / len(walls), 3),
+            "wall_s_stdev": round(_stdev(walls), 3),
+            "events_per_s": round(sum(rates) / len(rates), 1),
+            "events_per_s_stdev": round(_stdev(rates), 1),
+        }
+
+    aggregate_rates = [report.events_per_s for report in reports]
+    first = reports[0]
     return {
         "schema": BENCH_SCHEMA,
         "python": platform.python_version(),
-        "jobs": report.jobs,
-        "experiment_ids": sorted({r.experiment_id for r in report.points}),
-        "points": len(report.points),
-        "cache_hits": report.cache_hits,
-        "cache_hit_rate": round(report.hit_rate, 4),
-        "wall_s": round(report.wall_s, 3),
-        "events": report.events,
-        "events_per_s": round(report.events_per_s, 1),
-        "experiments": _experiment_rows(report),
+        "jobs": first.jobs,
+        "reps": reps,
+        "experiment_ids": sorted({r.experiment_id for r in first.points}),
+        "points": len(first.points),
+        "cache_hits": first.cache_hits,
+        "cache_hit_rate": round(first.hit_rate, 4),
+        "wall_s": round(sum(r.wall_s for r in reports) / reps, 3),
+        "events": first.events,
+        "events_per_s": round(sum(aggregate_rates) / reps, 1),
+        "events_per_s_stdev": round(_stdev(aggregate_rates), 1),
+        "experiments": experiments,
     }
 
 
@@ -115,15 +174,22 @@ def compare(current: dict[str, Any], baseline: dict[str, Any],
 def render(doc: dict[str, Any], baseline: Optional[dict[str, Any]] = None,
            file=sys.stdout) -> None:
     """Human-readable summary of a BENCH document (plus baseline deltas)."""
-    print(f"[bench] {doc['points']} points, jobs={doc['jobs']}, "
-          f"wall {doc['wall_s']:.1f}s, "
-          f"{doc['events']} events @ {doc['events_per_s']:.0f} ev/s, "
-          f"cache hit rate {doc['cache_hit_rate']:.0%}", file=file)
+    reps = int(doc.get("reps", 1))
+    line = (f"[bench] {doc['points']} points, jobs={doc['jobs']}, "
+            f"wall {doc['wall_s']:.1f}s, "
+            f"{doc['events']} events @ {doc['events_per_s']:.0f} ev/s")
+    if reps > 1:
+        line += (f" (±{doc.get('events_per_s_stdev', 0.0):.0f} "
+                 f"over {reps} reps)")
+    line += f", cache hit rate {doc['cache_hit_rate']:.0%}"
+    print(line, file=file)
     base_rows = (baseline or {}).get("experiments", {})
     for exp_id, row in sorted(doc["experiments"].items()):
         line = (f"[bench]   {exp_id}: {row['points']} points, "
                 f"{row['wall_s']:.2f}s busy, "
                 f"{row['events_per_s']:.0f} ev/s")
+        if reps > 1:
+            line += f" (±{row.get('events_per_s_stdev', 0.0):.0f})"
         base = base_rows.get(exp_id, {})
         base_rate = float(base.get("events_per_s") or 0.0)
         if base_rate > 0.0 and row["events_per_s"] > 0.0:

@@ -235,8 +235,11 @@ def execute_experiments(
             "merged across workers; run traced experiments serially via "
             "the legacy path (repro run --trace forces it)"
         )
-    plans = experiment_plans()
-    ids = list(ids) if ids else list(plans)
+    # Ids resolve against the auxiliary-inclusive registry (so "sec4"
+    # runs through the same machinery), but the default id list is the
+    # main suite only.
+    plans = experiment_plans(auxiliary=True)
+    ids = list(ids) if ids else list(experiment_plans())
     unknown = [i for i in ids if i not in plans]
     if unknown:
         raise KeyError(

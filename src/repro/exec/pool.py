@@ -47,7 +47,7 @@ def _worker_main(conn: Connection) -> None:
     from ..obs.metrics import MetricsRegistry
     from ..sim.engine import events_total
 
-    plans = experiment_plans()
+    plans = experiment_plans(auxiliary=True)
     while True:
         try:
             task = conn.recv()

@@ -73,6 +73,15 @@ class FlashBackend:
         ]
         self.counters = FlashCounters()
         self._die_busy_ns = [0] * geometry.total_dies
+        #: Hot-path lookup tables: the bus serving each die, and memoized
+        #: bus-transfer times by size (request sizes repeat endlessly, so
+        #: the division/round in transfer_ns runs once per distinct size).
+        self._bus_of_die = [
+            self.buses[geometry.channel_of_die(i)]
+            for i in range(geometry.total_dies)
+        ]
+        self._page_transfer_ns = self.transfer_ns(geometry.page_size)
+        self._transfer_cache = {geometry.page_size: self._page_transfer_ns}
         if metrics is not None:
             self._op_counters = {
                 "read": metrics.counter("nand.pages_read"),
@@ -136,11 +145,14 @@ class FlashBackend:
         if self._op_counters is not None:
             self._publish("read", die_index)
         die.release(req)
-        bus = self.buses[self.geometry.channel_of_die(die_index)]
+        bus = self._bus_of_die[die_index]
         breq = bus.request(priority)
         yield breq
         nbytes = self.geometry.page_size if transfer_bytes is None else transfer_bytes
-        yield self.sim.timeout(self.transfer_ns(nbytes))
+        transfer = self._transfer_cache.get(nbytes)
+        if transfer is None:
+            transfer = self._transfer_cache[nbytes] = self.transfer_ns(nbytes)
+        yield self.sim.timeout(transfer)
         bus.release(breq)
         self.counters.pages_read += 1
         if traced:
@@ -155,10 +167,10 @@ class FlashBackend:
         """NAND page program: stream in on the bus, then program the die."""
         traced = self.tracer.enabled
         started = self.sim.now if traced else 0
-        bus = self.buses[self.geometry.channel_of_die(die_index)]
+        bus = self._bus_of_die[die_index]
         breq = bus.request(priority)
         yield breq
-        yield self.sim.timeout(self.transfer_ns(self.geometry.page_size))
+        yield self.sim.timeout(self._page_transfer_ns)
         bus.release(breq)
         die = self.dies[die_index]
         req = die.request(priority)

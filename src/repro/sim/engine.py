@@ -218,18 +218,24 @@ class Process(Event):
     completion.
     """
 
-    __slots__ = ("generator", "_waiting_on", "name", "_resume_cb", "_send")
+    __slots__ = ("generator", "_waiting_on", "_name", "_resume_cb", "_send")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         self.generator = generator
-        self.name = name or getattr(generator, "__name__", "process")
+        self._name = name
         self._waiting_on: Optional[Event] = None
         # Bind once: a fresh bound method per yield is pure allocator churn.
         self._resume_cb = self._resume
         self._send = generator.send
         # Bootstrap: resume the generator at the current time.
         sim._wake(self._resume_cb)
+
+    @property
+    def name(self) -> str:
+        # Resolved lazily: the generator's __name__ is only needed in
+        # error messages, not on the per-process construction path.
+        return self._name or getattr(self.generator, "__name__", "process")
 
     @property
     def is_alive(self) -> bool:

@@ -32,7 +32,15 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_order")
 
     def __init__(self, resource: "Resource", priority: int):
-        super().__init__(resource.sim)
+        # Event.__init__ inlined: requests are allocated once per
+        # controller/die/bus acquisition, the hottest alloc site after
+        # Timeout (which the engine pools).
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
         self.resource = resource
         self.priority = priority
         self._order = 0
@@ -55,7 +63,7 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._users: set[Request] = set()
-        self._queue: list[Request] = []
+        self._queue: list[tuple[int, int, Request]] = []
         self._counter = 0
 
     # -- introspection ---------------------------------------------------
@@ -80,7 +88,12 @@ class Resource:
             self._users.add(req)
             req.succeed(req)
         else:
-            heapq.heappush(self._queue, req)
+            # Heap entries are (priority, order, req) tuples so ordering
+            # resolves on int compares instead of Request.__lt__ dispatch
+            # (the request heap is the hottest comparison site in the
+            # kernel). Order is unique, so the tuple compare never
+            # reaches the Request.
+            heapq.heappush(self._queue, (priority, req._order, req))
             self._grant()
         return req
 
@@ -92,14 +105,14 @@ class Resource:
             return
         # Allow cancelling a queued (never-granted) request.
         try:
-            self._queue.remove(request)
+            self._queue.remove((request.priority, request._order, request))
             heapq.heapify(self._queue)
         except ValueError:
             raise SimulationError("release() of a request that holds no slot")
 
     def _grant(self) -> None:
         while self._queue and len(self._users) < self.capacity:
-            req = heapq.heappop(self._queue)
+            req = heapq.heappop(self._queue)[2]
             self._users.add(req)
             req.succeed(req)
 

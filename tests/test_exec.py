@@ -222,8 +222,10 @@ def failure_plans(monkeypatch, tmp_path):
     registry = _failure_plan_registry()
     # Patch both the defining module (inherited by fork-started workers,
     # which resolve it at call time) and the engine's direct binding.
-    monkeypatch.setattr(points_mod, "experiment_plans", lambda: registry)
-    monkeypatch.setattr(engine_mod, "experiment_plans", lambda: registry)
+    monkeypatch.setattr(
+        points_mod, "experiment_plans", lambda auxiliary=False: registry)
+    monkeypatch.setattr(
+        engine_mod, "experiment_plans", lambda auxiliary=False: registry)
     monkeypatch.setenv(_FLAG_ENV, str(tmp_path / "attempt.flag"))
     return registry
 
