@@ -21,6 +21,8 @@ Commands
                  turns it into a perf regression gate
 ``cache``        manage the point-result cache (``cache prune`` deletes
                  entries orphaned by code changes)
+``faults``       inspect fault-injection profiles (``faults list`` shows
+                 the built-in presets accepted by ``run --faults``)
 ``list``         list available experiment ids
 """
 
@@ -49,6 +51,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         )
     if args.scale != 1.0:
         config = config.scaled(args.scale)
+    if getattr(args, "faults", None):
+        config = dataclasses.replace(config, faults=args.faults)
     return config
 
 
@@ -92,6 +96,10 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--metrics", action="store_true",
                             help="print the metrics-registry table after "
                                  "the run")
+    run_parser.add_argument("--faults", metavar="SPEC", default=None,
+                            help="inject faults: a preset name (see "
+                                 "'faults list') or a JSON profile path; "
+                                 "deterministic under --seed and --jobs")
     profile_parser = sub.add_parser(
         "profile", help="trace one experiment, print per-layer breakdown")
     profile_parser.add_argument("experiment", nargs="?",
@@ -177,6 +185,12 @@ def main(argv: list[str] | None = None) -> int:
     prune_parser.add_argument("--dry-run", action="store_true",
                               help="report what would be deleted, delete "
                                    "nothing")
+    faults_parser = sub.add_parser(
+        "faults", help="inspect fault-injection profiles")
+    faults_sub = faults_parser.add_subparsers(dest="faults_command",
+                                              required=True)
+    faults_sub.add_parser(
+        "list", help="list the built-in fault presets (for run --faults)")
 
     args = parser.parse_args(argv)
 
@@ -191,6 +205,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         config = _config_from_args(args)
+        if config.faults is not None:
+            from .faults.plan import FaultPlanError, resolve
+
+            try:
+                plan = resolve(config.faults)
+            except FaultPlanError as exc:
+                run_parser.error(str(exc))
+            if plan is not None:
+                print(f"[faults] profile {plan.name!r} active "
+                      "(deterministic under --seed)", file=sys.stderr)
         tracer = Tracer() if (args.trace or args.trace_perfetto) else None
         metrics = MetricsRegistry() if args.metrics else None
         if tracer is not None or metrics is not None:
@@ -357,6 +381,19 @@ def main(argv: list[str] | None = None) -> int:
             if args.dry_run:
                 for path in stale:
                     print(f"[cache]   {path}")
+            return 0
+
+    if args.command == "faults":
+        from .faults.plan import describe_presets
+
+        if args.faults_command == "list":
+            pairs = describe_presets()
+            width = max(len(name) for name, _ in pairs)
+            for name, note in pairs:
+                print(f"{name:<{width}}  {note}")
+            print()
+            print("Use with: repro run --faults <name>  (or a JSON "
+                  "profile path; see DESIGN.md section 12)")
             return 0
 
     raise AssertionError("unreachable")  # pragma: no cover

@@ -58,19 +58,24 @@ class ConvDevice(DeviceCore):
         gc_priority: int = PRIO_GC_URGENT,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults=None,
     ):
         self.ftl = PageMappedFtl(profile.geometry, profile.overprovision)
         # Round the namespace down to a whole number of logical pages.
         logical_bytes = self.ftl.logical_pages * profile.geometry.page_size
         super().__init__(
             sim, profile, logical_bytes, lba_format, streams or StreamFactory(),
-            tracer, metrics, io_stream="conv-io",
+            tracer, metrics, io_stream="conv-io", faults=faults,
         )
         self.backend = FlashBackend(
             sim, profile.geometry, profile.nand, profile.channel_bandwidth,
             tracer=self.tracer,
             metrics=self.metrics if self.observing else None,
+            faults=self.faults,
         )
+        #: Power-loss cancellation tokens of page flushes that have not
+        #: committed to the media yet (fault mode only; see DeviceCore).
+        self._pending_flushes: list = []
         self._gc_victim_counter = self.metrics.counter("gc.victims_erased")
         self._gc_copy_counter = self.metrics.counter("gc.pages_copied")
         self.gc_policy = gc_policy or GcPolicy(
@@ -180,6 +185,7 @@ class ConvDevice(DeviceCore):
         lookup = self.ftl.lookup
         die_of = self.ftl.die_of_physical
         read_page = self.backend.read_page
+        fault_out = [] if self.backend.faults is not None else None
         reads = []
         for logical in range(start_page, start_page + n_pages):
             physical = lookup(logical)
@@ -188,7 +194,8 @@ class ConvDevice(DeviceCore):
             reads.append(
                 sim.process(
                     read_page(die_of(physical), priority=PRIO_IO,
-                              transfer_bytes=take, cid=cid)
+                              transfer_bytes=take, cid=cid,
+                              fault_out=fault_out)
                 )
             )
         if len(reads) == 1:
@@ -199,6 +206,8 @@ class ConvDevice(DeviceCore):
                 self.tracer.span("nand", "read.fanout", nand_started,
                                  self.sim.now, track="nand", cid=cid,
                                  dies=len(reads))
+        if fault_out:
+            return self._complete(command, Status.MEDIA_UNRECOVERED_READ, cid=cid)
         return self._complete(command, Status.SUCCESS, nbytes=shape.nbytes, cid=cid)
 
     def _exec_write(self, command: Command, cid: int = 0) -> Generator:
@@ -227,12 +236,23 @@ class ConvDevice(DeviceCore):
                              self.sim.now, track="buffer", cid=cid, nbytes=nbytes)
         start_process = self.sim.process
         flush = self._flush_page
-        for logical in range(start_page, start_page + n_pages):
-            start_process(flush(logical))
+        if self.faults is None:
+            for logical in range(start_page, start_page + n_pages):
+                start_process(flush(logical))
+        else:
+            for logical in range(start_page, start_page + n_pages):
+                token = [False, False]  # [cancelled, program started]
+                self._pending_flushes.append(token)
+                start_process(flush(logical, token))
         self._maybe_wake_gc()
         return self._complete(command, Status.SUCCESS, nbytes=nbytes, cid=cid)
 
-    def _flush_page(self, logical: int) -> Generator:
+    def _flush_page(self, logical: int, token: list | None = None) -> Generator:
+        if token is not None and token[0]:
+            # Power cut dropped this page before the flush began; the
+            # mapping keeps the old data and the bytes were drained.
+            self._pending_flushes.remove(token)
+            return
         while True:
             try:
                 physical = self.ftl.commit_write(logical, reserve=self._gc_reserve)
@@ -243,7 +263,36 @@ class ConvDevice(DeviceCore):
                 # the mechanism behind Fig. 6a's throughput collapses.
                 self._maybe_wake_gc()
                 yield self._space_freed
-        yield from self._flush_page_to_die(self.ftl.die_of_physical(physical))
+        yield from self._flush_page_to_die(
+            self.ftl.die_of_physical(physical), cancel=token
+        )
+        if token is not None:
+            try:
+                self._pending_flushes.remove(token)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------ power loss
+    def _power_loss_drop(self, target: int) -> tuple[int, int]:
+        """Cancel queued-but-uncommitted page flushes, newest first.
+
+        The recovery unit count is the FTL's mapped-page population: on
+        boot a conventional controller rebuilds (or at least verifies)
+        its L2P table, so the replay cost scales with mapped pages.
+        """
+        page = self._page_size
+        dropped = 0
+        for token in reversed(self._pending_flushes):
+            if target - dropped < page:
+                break
+            if token[1]:  # already programming; PLP completes it
+                continue
+            token[0] = True
+            dropped += page
+        return dropped, self.ftl.mapped_pages()
+
+    def _recovery_ns(self, units: int) -> int:
+        return units * self.faults.plan.recovery_per_page_ns
 
     def _exec_trim(self, command: Command, cid: int = 0) -> Generator:
         """NVMe deallocate: unmap pages so GC can reclaim them for free.

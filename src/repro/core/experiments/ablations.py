@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...conv.device import PRIO_IO, ConvDevice
+from ...faults.plan import resolve
 from ...flash.geometry import FlashGeometry
 from ...hostif.namespace import LBA_4K
 from ...sim.engine import Simulator, ms
@@ -188,6 +189,7 @@ def _gc_priority_point(config: ExperimentConfig, params: dict) -> dict:
     device = ConvDevice(
         sim, conv_experiment_profile(), lba_format=LBA_4K,
         streams=StreamFactory(config.seed), gc_priority=priority,
+        faults=resolve(config.faults),
     )
     device.precondition(0.92, steady_state_churn=1.0, seed=config.seed)
     runtime = min(config.interference_runtime_ns, ms(900))

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ...faults.plan import resolve
 from ...hostif.namespace import LBA_4K, LBA_512, LbaFormat
 from ...obs.metrics import MetricsRegistry
 from ...obs.tracer import Tracer
@@ -69,6 +70,11 @@ class ExperimentConfig:
     metrics: Optional[MetricsRegistry] = field(
         default=None, repr=False, compare=False
     )
+    #: Fault-injection spec: a preset name or profile path understood by
+    #: :func:`repro.faults.resolve`. Kept as the *spec string* (not the
+    #: resolved plan) so configs stay JSON-serializable for the result
+    #: cache key — two runs with the same spec share cache entries.
+    faults: Optional[str] = None
 
     def scaled(self, duration_scale: float) -> "ExperimentConfig":
         """Stretch all durations/sweep sizes by a factor."""
@@ -106,6 +112,7 @@ def build_device(
         sim, profile, lba_format=lba_format,
         streams=StreamFactory(config.seed, salt=seed_salt),
         tracer=config.tracer, metrics=config.metrics,
+        faults=resolve(config.faults),
     )
     return sim, device
 

@@ -30,6 +30,7 @@ from dataclasses import replace
 import numpy as np
 
 from ...conv.device import ConvDevice
+from ...faults.plan import resolve
 from ...flash.geometry import FlashGeometry
 from ...hostif.namespace import LBA_4K
 from ...sim.engine import Simulator, ms
@@ -76,6 +77,7 @@ def _build_conv(config: ExperimentConfig):
     device = ConvDevice(
         sim, conv_experiment_profile(), lba_format=LBA_4K,
         streams=StreamFactory(config.seed),
+        faults=resolve(config.faults),
     )
     # 92% utilization (a heavily filled enterprise device) plus enough
     # random churn to reach the greedy-GC steady state before measuring.

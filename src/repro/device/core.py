@@ -40,11 +40,13 @@ from ..sim.rng import LatencySampler, StreamFactory
 from ..zns.profiles import DeviceProfile
 from .planner import RequestPlanner
 
-__all__ = ["DeviceCore", "DeviceCounters", "PRIO_IO", "PRIO_MGMT"]
+__all__ = ["DeviceCore", "DeviceCounters", "PRIO_IO", "PRIO_MGMT", "PRIO_PANIC"]
 
 #: Firmware/flash scheduling priorities (lower value served first).
 PRIO_IO = 0
 PRIO_MGMT = 10
+#: Power-loss handling preempts everything else queued at the controller.
+PRIO_PANIC = -100
 
 
 class DeviceCounters:
@@ -120,6 +122,7 @@ class DeviceCore:
         tracer: Optional[Tracer],
         metrics: Optional[MetricsRegistry],
         io_stream: str,
+        faults=None,
     ):
         self.sim = sim
         self.profile = profile
@@ -142,6 +145,18 @@ class DeviceCore:
             for op in Opcode
         }
         self._wbuf_gauge = self.metrics.gauge("device.wbuf.level_bytes")
+        #: Optional FaultInjector (DESIGN.md §12), built by the caller
+        #: from a FaultPlan against this device's "faults" RNG stream.
+        #: ``None`` (the default) must leave every path byte-identical.
+        if faults is not None and faults.enabled:
+            from ..faults.plan import FaultInjector
+
+            self.faults = FaultInjector(faults, streams.stream("faults"),
+                                        self.metrics)
+            if faults.power_cut_at_ns is not None:
+                sim.process(self._power_cut_process(), name="power-cut")
+        else:
+            self.faults = None
         #: Command id of the most recent ``submit`` (host stacks read it
         #: to tie their own spans to the device-assigned trace id).
         self.last_cid = 0
@@ -243,9 +258,70 @@ class DeviceCore:
                              self.sim.now, track="controller", cid=cid)
 
     # -------------------------------------------------------------- flushing
-    def _flush_page_to_die(self, die: int) -> Generator:
-        """Program one buffered page to a die, then drain the buffer."""
-        yield from self.backend.program_page(die, priority=PRIO_IO, label="flush")
+    def _flush_page_to_die(self, die: int, cancel: list | None = None) -> Generator:
+        """Program one buffered page to a die, then drain the buffer.
+
+        Returns the backend's injected-program-failure count, or ``-1``
+        when a power cut cancelled the page before it reached the media
+        (the power-cut handler already drained its bytes).
+        """
+        failures = yield from self.backend.program_page(
+            die, priority=PRIO_IO, label="flush", cancel=cancel)
+        if failures < 0:
+            return failures
         yield self.buffer.get(self._page_size)
         if self.observing:
             self._wbuf_gauge.set(self.buffer.level)
+        return failures
+
+    # ------------------------------------------------------------ power loss
+    def _power_cut_process(self) -> Generator:
+        """Scheduled power-cut + recovery replay (DESIGN.md §12).
+
+        At the cut instant the controller is seized at ``PRIO_PANIC``,
+        the queued-but-unprogrammed write-buffer tail beyond the PLP
+        capacitor budget is dropped (in-flight NAND programs complete on
+        capacitor energy), model-specific state is rolled back
+        (:meth:`_power_loss_drop`), and the firmware "boot" cost is paid
+        while the controller is held — every command queued behind the
+        panic request observes the recovery latency.
+        """
+        plan = self.faults.plan
+        yield self.sim.timeout(plan.power_cut_at_ns)
+        req = self.controller.request(PRIO_PANIC)
+        yield req
+        target = self.buffer.level - plan.plp_budget_bytes
+        target -= target % self._block_size
+        dropped, recovery_units = (
+            self._power_loss_drop(target) if target > 0 else (0, 0)
+        )
+        if dropped:
+            self.buffer.drain(dropped)
+            if self.observing:
+                self._wbuf_gauge.set(self.buffer.level)
+        recovery = plan.recovery_base_ns + self._recovery_ns(recovery_units)
+        self.faults.power_cuts.inc()
+        self.faults.bytes_lost.inc(dropped)
+        self.faults.recovery_ns.inc(recovery)
+        if self.tracer.enabled:
+            start = self.sim.now
+            self.tracer.instant("fault", "power_cut", start,
+                                track="controller", bytes_lost=dropped)
+        yield self.sim.timeout(recovery)
+        if self.tracer.enabled:
+            self.tracer.span("fault", "power_loss_recovery", start,
+                             self.sim.now, track="controller")
+        self.controller.release(req)
+
+    def _power_loss_drop(self, target: int) -> tuple[int, int]:
+        """Drop up to ``target`` unpersisted buffered bytes (model hook).
+
+        Returns ``(bytes_dropped, recovery_units)`` where the units feed
+        :meth:`_recovery_ns` (rolled-back zones for ZNS, mapped pages
+        for the conventional FTL).
+        """
+        return 0, 0
+
+    def _recovery_ns(self, units: int) -> int:
+        """Model-specific boot-replay cost beyond the fixed base."""
+        return 0

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -98,15 +99,40 @@ class ResultCache:
 
     # -- storage ---------------------------------------------------------
     def load(self, key: str) -> Optional[dict[str, Any]]:
-        """The stored entry, or ``None`` (counts a hit/miss either way)."""
+        """The stored entry, or ``None`` (counts a hit/miss either way).
+
+        A file that exists but does not parse — or parses to something
+        that is not a complete entry (a torn write from a crash or a
+        full disk predating the atomic-rename path, manual editing, bit
+        rot) — is treated as a miss: logged, deleted, and recomputed,
+        rather than poisoning the engine with a ``KeyError`` later.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), encoding="utf-8") as fh:
+            with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._discard_corrupt(path, "unreadable or truncated")
+            return None
+        if not isinstance(entry, dict) or "payload" not in entry:
+            self._discard_corrupt(path, "not a cache entry")
             return None
         self.hits += 1
         return entry
+
+    def _discard_corrupt(self, path: Path, why: str) -> None:
+        logging.getLogger("repro.exec.cache").warning(
+            "discarding corrupt cache entry %s (%s); the point will be "
+            "recomputed", path, why,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.misses += 1
 
     def store(self, key: str, entry: dict[str, Any]) -> None:
         """Atomically persist one entry (temp file + rename).

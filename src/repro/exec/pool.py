@@ -5,9 +5,11 @@ stock pool cannot kill a single hung task, and a worker that dies
 mid-result poisons the whole map call. Here every worker owns one
 :class:`~multiprocessing.Pipe`; the parent multiplexes replies with
 :func:`multiprocessing.connection.wait`, enforces a per-point deadline,
-and on a timeout or crash kills just that worker, respawns a fresh one,
-and retries the point once before reporting it failed. A sweep never
-hangs and never loses more than the one offending point.
+and on a timeout or crash kills just that worker, respawns a fresh one
+(bounded by a respawn budget, so a systemically broken environment fails
+fast instead of thrashing), and retries the point once — after a short
+exponential backoff with per-task jitter — before reporting it failed.
+A sweep never hangs and never loses more than the one offending point.
 
 Task / reply protocol (everything picklable and JSON-able)::
 
@@ -120,12 +122,22 @@ class WorkerPool:
     """Fan tasks out over worker processes with timeout/crash recovery."""
 
     def __init__(self, jobs: int, timeout_s: float = DEFAULT_POINT_TIMEOUT_S,
-                 max_attempts: int = 2, mp_context=None):
+                 max_attempts: int = 2, mp_context=None,
+                 retry_backoff_s: float = 0.5, max_respawns: int = 8):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.timeout_s = timeout_s
         self.max_attempts = max_attempts
+        #: Base delay before retrying a failed point (doubles per attempt,
+        #: plus a small per-task jitter so retries don't restart in
+        #: lockstep after a machine-wide stall, e.g. OOM-killer sweeps).
+        self.retry_backoff_s = retry_backoff_s
+        #: Replacement-worker budget per ``run()``. A systemic failure
+        #: (bad install, sandbox killing children) would otherwise
+        #: respawn-thrash forever; past the cap, remaining tasks fail
+        #: fast with a clear error instead.
+        self.max_respawns = max_respawns
         if mp_context is None:
             methods = mp.get_all_start_methods()
             mp_context = mp.get_context("fork" if "fork" in methods else "spawn")
@@ -155,6 +167,8 @@ class WorkerPool:
         by_id = {t["task_id"]: t for t in tasks}
         workers = [self._spawn() for _ in range(min(self.jobs, len(tasks)))]
         busy: dict[Connection, tuple[dict, float, _Worker]] = {}
+        retry_at: dict[int, float] = {}  # task_id → earliest redispatch time
+        respawns = 0
 
         def finish(task: dict, reply: dict) -> None:
             reply["attempts"] = attempts[task["task_id"]] + (1 if reply["ok"] else 0)
@@ -163,25 +177,70 @@ class WorkerPool:
                 on_reply(task, reply)
 
         def fail(task: dict, error: str) -> None:
-            attempts[task["task_id"]] += 1
-            if attempts[task["task_id"]] < self.max_attempts:
-                pending.append(task)  # retry once on a fresh/idle worker
+            tid = task["task_id"]
+            attempts[tid] += 1
+            if attempts[tid] < self.max_attempts:
+                # Exponential backoff plus deterministic per-task jitter:
+                # retries of a transient machine-wide problem shouldn't
+                # all slam back in at the same instant.
+                delay = self.retry_backoff_s * (1 << (attempts[tid] - 1))
+                retry_at[tid] = (
+                    time.monotonic() + delay + (tid * 0.037) % 0.1
+                )
+                pending.append(task)
             else:
-                finish(task, {"task_id": task["task_id"], "ok": False,
-                              "error": error})
+                finish(task, {"task_id": tid, "ok": False, "error": error})
+
+        def respawn(worker: _Worker) -> None:
+            nonlocal respawns
+            workers.remove(worker)
+            worker.kill()
+            if respawns < self.max_respawns:
+                respawns += 1
+                workers.append(self._spawn())
 
         try:
             while len(replies) < len(tasks):
-                # Hand pending tasks to idle workers.
+                # Hand pending tasks whose backoff has elapsed to idle
+                # workers (newest-first, like the original stack order).
+                now = time.monotonic()
                 for worker in workers:
-                    if worker.conn not in busy and pending:
-                        task = pending.pop()
-                        worker.conn.send(task)
-                        busy[worker.conn] = (
-                            task, time.monotonic() + self.timeout_s, worker
-                        )
-                if not busy:  # pragma: no cover - defensive
+                    if worker.conn in busy or not pending:
+                        continue
+                    idx = next(
+                        (i for i in range(len(pending) - 1, -1, -1)
+                         if retry_at.get(pending[i]["task_id"], 0.0) <= now),
+                        None,
+                    )
+                    if idx is None:
+                        break  # everything pending is still backing off
+                    task = pending.pop(idx)
+                    worker.conn.send(task)
+                    busy[worker.conn] = (
+                        task, time.monotonic() + self.timeout_s, worker
+                    )
+                if not workers:
+                    # Respawn budget exhausted: fail whatever is left
+                    # rather than looping forever with nobody to run it.
+                    for task in pending:
+                        attempts[task["task_id"]] = self.max_attempts
+                        finish(task, {
+                            "task_id": task["task_id"], "ok": False,
+                            "error": "worker respawn budget exhausted "
+                                     f"({self.max_respawns} respawns)",
+                        })
+                    pending.clear()
                     break
+                if not busy:
+                    if pending:  # all pending tasks are in backoff; wait
+                        soonest = min(
+                            retry_at.get(t["task_id"], 0.0) for t in pending
+                        )
+                        time.sleep(
+                            max(0.0, min(soonest - time.monotonic(), 1.0))
+                        )
+                        continue
+                    break  # pragma: no cover - defensive
                 deadline = min(d for _, d, _ in busy.values())
                 wait_s = max(0.0, min(deadline - time.monotonic(), 1.0))
                 ready = connection_wait(list(busy), timeout=wait_s)
@@ -191,12 +250,10 @@ class WorkerPool:
                         reply = conn.recv()
                     except (EOFError, OSError):
                         # Worker died mid-point: replace it, retry the task.
-                        workers.remove(worker)
-                        worker.kill()
-                        workers.append(self._spawn())
+                        pid, exitcode = worker.process.pid, worker.process.exitcode
+                        respawn(worker)
                         fail(task, "worker process crashed "
-                                   f"(pid {worker.process.pid}, "
-                                   f"exitcode {worker.process.exitcode})")
+                                   f"(pid {pid}, exitcode {exitcode})")
                         continue
                     if reply.get("ok"):
                         finish(task, reply)
@@ -206,9 +263,7 @@ class WorkerPool:
                 now = time.monotonic()
                 for conn in [c for c, (_, d, _) in busy.items() if d <= now]:
                     task, _, worker = busy.pop(conn)
-                    workers.remove(worker)
-                    worker.kill()
-                    workers.append(self._spawn())
+                    respawn(worker)
                     fail(task, f"point exceeded the {self.timeout_s:.0f}s "
                                "timeout and was killed")
         finally:

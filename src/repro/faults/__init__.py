@@ -1,0 +1,21 @@
+"""Deterministic fault injection and recovery (DESIGN.md §12)."""
+
+from .plan import (
+    FAULT_PRESETS,
+    NULL_FAULT_PLAN,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    describe_presets,
+    resolve,
+)
+
+__all__ = [
+    "FAULT_PRESETS",
+    "NULL_FAULT_PLAN",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "describe_presets",
+    "resolve",
+]

@@ -1,0 +1,344 @@
+"""Deterministic fault plans and the seed-driven fault injector.
+
+A :class:`FaultPlan` is a frozen, JSON-serializable description of *what
+can go wrong* during a run: NAND media error rates (read disturb,
+program failures, erase failures), firmware retirement thresholds, an
+optional scheduled power cut against the capacitor-backed write buffer,
+and host-side resilience policy (command timeout, bounded retry).
+
+A :class:`FaultInjector` binds a plan to one device's named RNG stream
+(``streams.stream("faults")``) and to the device's metrics registry.
+Because every device already owns a per-point-salted
+:class:`~repro.sim.rng.StreamFactory`, fault draws are independent of
+worker count and scheduling order: a fault run is bit-reproducible at
+any ``--jobs`` value.
+
+The disabled case is load-bearing: ``resolve(None)`` / ``resolve("none")``
+return ``None``, devices skip every hook, and **zero extra events and
+zero RNG draws** are added — output stays byte-identical to a build
+without this module (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.engine import ms, us
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultPlanError",
+    "NULL_FAULT_PLAN",
+    "FAULT_PRESETS",
+    "resolve",
+    "describe_presets",
+]
+
+KIB = 1024
+
+
+class FaultPlanError(ValueError):
+    """Raised for unknown presets, bad JSON profiles, or invalid fields."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic description of injected faults for one run.
+
+    All probabilities are per-operation. Rates of 0 (the default) mean
+    the corresponding hook is never armed; a plan whose every knob is
+    inert reports ``enabled == False`` and behaves exactly like no plan
+    at all (the ``NullFaultPlan`` of DESIGN.md §12).
+    """
+
+    name: str = "none"
+
+    # -- media: reads ----------------------------------------------------
+    #: Probability a page read hits a read-disturb soft error and enters
+    #: the firmware read-retry ladder.
+    read_disturb_prob: float = 0.0
+    #: Maximum ladder depth: each retry re-senses the page (one extra
+    #: ``read_ns`` with the die held, or ``read_retry_step_ns`` if set).
+    read_retry_max: int = 3
+    #: Optional override for the per-retry latency step (0 = ``read_ns``).
+    read_retry_step_ns: int = 0
+    #: Fraction of disturbed reads that exhaust the full ladder and stay
+    #: uncorrectable — the host sees ``MEDIA_UNRECOVERED_READ`` (DNR).
+    read_uncorrectable_frac: float = 0.0
+
+    # -- media: programs -------------------------------------------------
+    #: Probability a page program fails; the firmware remaps and retries
+    #: on the same die (each failure costs one extra ``program_ns``).
+    program_fail_prob: float = 0.0
+    #: Cap on consecutive program failures absorbed per page.
+    program_retry_max: int = 3
+
+    # -- media: erases ---------------------------------------------------
+    #: Probability a block erase attempt fails (retried in firmware).
+    erase_fail_prob: float = 0.0
+    #: Extra erase attempts before the block is declared bad.
+    erase_retry_max: int = 2
+
+    # -- firmware retirement (ZNS) ---------------------------------------
+    #: Cumulative program failures in a zone after which the firmware
+    #: retires it to ``READ_ONLY`` (0 = never).
+    retire_read_only_after: int = 0
+    #: ... and after which it goes ``OFFLINE`` (0 = never).
+    retire_offline_after: int = 0
+
+    # -- power loss ------------------------------------------------------
+    #: Simulated time (ns) of a single power-cut event (None = never).
+    power_cut_at_ns: Optional[int] = None
+    #: Capacitor energy budget: bytes of queued-but-unprogrammed buffer
+    #: the PLP capacitors can still flush; the rest of the tail is lost.
+    #: (In-flight NAND programs always complete on capacitor energy.)
+    plp_budget_bytes: int = 0
+    #: Fixed firmware boot cost paid while the controller is seized.
+    recovery_base_ns: int = ms(2)
+    #: Per-rolled-back-zone recovery cost (ZNS write-pointer rebuild).
+    recovery_per_zone_ns: int = us(150)
+    #: Per-mapped-page L2P scan cost (conventional FTL rebuild).
+    recovery_per_page_ns: int = 40
+
+    # -- host resilience policy ------------------------------------------
+    #: Host-side command timeout (None = wait forever, today's behavior).
+    command_timeout_ns: Optional[int] = None
+    #: Bounded retries for completions with a retryable status.
+    max_retries: int = 3
+    #: Base backoff before a retry; doubles per attempt.
+    retry_backoff_ns: int = us(50)
+
+    def __post_init__(self):
+        for field in ("read_disturb_prob", "read_uncorrectable_frac",
+                      "program_fail_prob", "erase_fail_prob"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(f"{field} must be in [0, 1], got {value!r}")
+        for field in ("read_retry_max", "program_retry_max", "erase_retry_max",
+                      "max_retries"):
+            if getattr(self, field) < 0:
+                raise FaultPlanError(f"{field} must be >= 0")
+        if self.power_cut_at_ns is not None and self.power_cut_at_ns < 0:
+            raise FaultPlanError("power_cut_at_ns must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True if any fault source or host policy is armed."""
+        return (
+            self.read_disturb_prob > 0.0
+            or self.program_fail_prob > 0.0
+            or self.erase_fail_prob > 0.0
+            or self.power_cut_at_ns is not None
+            or self.command_timeout_ns is not None
+        )
+
+    @property
+    def media_enabled(self) -> bool:
+        return (self.read_disturb_prob > 0.0 or self.program_fail_prob > 0.0
+                or self.erase_fail_prob > 0.0)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+#: The canonical disabled plan (every hook inert).
+NULL_FAULT_PLAN = FaultPlan()
+
+#: Named presets selectable via ``repro run --faults <name>``.
+FAULT_PRESETS: dict[str, FaultPlan] = {
+    "none": NULL_FAULT_PLAN,
+    # Aging NAND: frequent read-disturb retries, a small uncorrectable
+    # residue — the latency-tail profile of Tehrany et al.'s worn drives.
+    "read-disturb": FaultPlan(
+        name="read-disturb",
+        read_disturb_prob=0.05,
+        read_retry_max=4,
+        read_uncorrectable_frac=0.02,
+    ),
+    # End-of-life media: program/erase failures drive remaps and, on the
+    # ZNS side, zone retirement to READ_ONLY and then OFFLINE.
+    "wearout": FaultPlan(
+        name="wearout",
+        program_fail_prob=0.02,
+        program_retry_max=2,
+        erase_fail_prob=0.01,
+        erase_retry_max=2,
+        retire_read_only_after=6,
+        retire_offline_after=12,
+    ),
+    # A single mid-run power cut with a small PLP budget: the queued
+    # write-buffer tail is dropped and recovery is replayed on boot.
+    "power-cut": FaultPlan(
+        name="power-cut",
+        power_cut_at_ns=ms(2),
+        plp_budget_bytes=256 * KIB,
+    ),
+    # Everything at once, plus an aggressive host timeout: the sweep
+    # must still terminate with degraded-mode accounting.
+    "chaos": FaultPlan(
+        name="chaos",
+        read_disturb_prob=0.10,
+        read_retry_max=4,
+        read_uncorrectable_frac=0.05,
+        program_fail_prob=0.05,
+        program_retry_max=2,
+        erase_fail_prob=0.02,
+        retire_read_only_after=16,
+        retire_offline_after=40,
+        power_cut_at_ns=ms(2),
+        plp_budget_bytes=128 * KIB,
+        command_timeout_ns=ms(2),
+        max_retries=2,
+        retry_backoff_ns=us(20),
+    ),
+}
+
+_PRESET_NOTES = {
+    "none": "no faults (byte-identical to running without --faults)",
+    "read-disturb": "read-retry ladders + a 2% uncorrectable residue",
+    "wearout": "program/erase failures with zone retirement thresholds",
+    "power-cut": "one power cut at t=2ms, 256 KiB PLP budget",
+    "chaos": "all media faults + power cut + 2ms host command timeout",
+}
+
+_PLAN_FIELDS = {f.name for f in dataclasses.fields(FaultPlan)}
+
+
+def _load_profile(path: str) -> FaultPlan:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        raise FaultPlanError(f"cannot read fault profile {path!r}: {error}") from error
+    if not isinstance(data, dict):
+        raise FaultPlanError(f"fault profile {path!r} must be a JSON object")
+    unknown = sorted(set(data) - _PLAN_FIELDS)
+    if unknown:
+        raise FaultPlanError(
+            f"fault profile {path!r} has unknown fields: {', '.join(unknown)}")
+    data.setdefault("name", os.path.splitext(os.path.basename(path))[0])
+    return FaultPlan(**data)
+
+
+def resolve(spec: Optional[str]) -> Optional[FaultPlan]:
+    """Map a ``--faults`` value (preset name or JSON path) to a plan.
+
+    Returns ``None`` when the spec selects no faults, so callers can use
+    plain ``is None`` checks on their hot paths.
+    """
+    if spec is None or spec == "":
+        return None
+    plan = FAULT_PRESETS.get(spec)
+    if plan is None:
+        if spec.endswith(".json") or os.path.sep in spec or os.path.exists(spec):
+            plan = _load_profile(spec)
+        else:
+            known = ", ".join(sorted(FAULT_PRESETS))
+            raise FaultPlanError(
+                f"unknown fault preset {spec!r} (known: {known}; "
+                "or pass a path to a JSON profile)")
+    return plan if plan.enabled else None
+
+
+def describe_presets() -> list[tuple[str, str]]:
+    """(name, description) pairs for ``repro faults list``."""
+    return [(name, _PRESET_NOTES.get(name, "")) for name in FAULT_PRESETS]
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to a device's RNG stream and metrics.
+
+    One injector per device instance. All draws come from the device's
+    ``"faults"`` stream (per-point salted by the execution engine), in a
+    fixed per-operation order, so outcomes depend only on (seed, salt,
+    operation sequence) — never on worker count or wall-clock timing.
+    Uniform variates are drawn in batches (like
+    :class:`~repro.sim.rng.LatencySampler`) to keep the per-op cost to a
+    list index; batching does not change the draw sequence.
+    """
+
+    _BATCH = 256
+
+    def __init__(self, plan: FaultPlan, rng, metrics):
+        self.plan = plan
+        self._rng = rng
+        self._batch: list[float] = []
+        self._cursor = 0
+        counter = metrics.counter
+        self.injected = counter("faults.injected")
+        self.read_disturbs = counter("faults.read_disturbs")
+        self.read_retries = counter("faults.read_retries")
+        self.read_uncorrectable = counter("faults.read_uncorrectable")
+        self.program_failures = counter("faults.program_failures")
+        self.erase_retries = counter("faults.erase_retries")
+        self.erase_failures = counter("faults.erase_failures")
+        self.zones_read_only = counter("faults.zones_read_only")
+        self.zones_offlined = counter("faults.zones_offlined")
+        self.power_cuts = counter("faults.power_cuts")
+        self.bytes_lost = counter("faults.bytes_lost")
+        self.recovery_ns = counter("faults.recovery_ns")
+
+    def _u(self) -> float:
+        cursor = self._cursor
+        if cursor == len(self._batch):
+            self._batch = self._rng.random(self._BATCH).tolist()
+            cursor = 0
+        self._cursor = cursor + 1
+        return self._batch[cursor]
+
+    # -- per-operation outcomes ------------------------------------------
+    def read_outcome(self) -> tuple[int, bool]:
+        """(extra retry senses, uncorrectable?) for one page read."""
+        plan = self.plan
+        if plan.read_disturb_prob <= 0.0 or self._u() >= plan.read_disturb_prob:
+            return 0, False
+        self.injected.inc()
+        self.read_disturbs.inc()
+        if (plan.read_uncorrectable_frac > 0.0
+                and self._u() < plan.read_uncorrectable_frac):
+            # The ladder runs to exhaustion and still fails.
+            self.read_retries.inc(plan.read_retry_max)
+            self.read_uncorrectable.inc()
+            return plan.read_retry_max, True
+        if plan.read_retry_max <= 0:
+            return 0, False
+        retries = 1 + int(self._u() * plan.read_retry_max)
+        retries = min(retries, plan.read_retry_max)
+        self.read_retries.inc(retries)
+        return retries, False
+
+    def program_outcome(self) -> int:
+        """Number of failed program attempts before one page sticks."""
+        plan = self.plan
+        prob = plan.program_fail_prob
+        if prob <= 0.0:
+            return 0
+        failures = 0
+        while failures < plan.program_retry_max and self._u() < prob:
+            failures += 1
+        if failures:
+            self.injected.inc(failures)
+            self.program_failures.inc(failures)
+        return failures
+
+    def erase_outcome(self) -> tuple[int, bool]:
+        """(extra erase attempts, block went bad?) for one block erase."""
+        plan = self.plan
+        prob = plan.erase_fail_prob
+        if prob <= 0.0:
+            return 0, False
+        retries = 0
+        while retries < plan.erase_retry_max and self._u() < prob:
+            retries += 1
+        if retries:
+            self.injected.inc(retries)
+            self.erase_retries.inc(retries)
+        failed = retries >= plan.erase_retry_max > 0
+        if failed:
+            self.erase_failures.inc()
+        return retries, failed

@@ -56,6 +56,7 @@ class FlashBackend:
         channel_bandwidth: int = 800 * MIB,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults=None,
     ):
         if channel_bandwidth <= 0:
             raise ValueError(f"channel bandwidth must be positive, got {channel_bandwidth}")
@@ -65,6 +66,9 @@ class FlashBackend:
         self.channel_bandwidth = channel_bandwidth
         self.tracer = resolve_tracer(tracer)
         self.metrics = metrics
+        #: Optional FaultInjector (DESIGN.md §12). ``None`` — the default
+        #: — must add zero events and zero RNG draws to every operation.
+        self.faults = faults if faults is not None and faults.plan.media_enabled else None
         self.dies = [
             Resource(sim, capacity=1, name=f"die{i}") for i in range(geometry.total_dies)
         ]
@@ -123,13 +127,19 @@ class FlashBackend:
     # -- physical operations (generator processes) ---------------------------
     def read_page(self, die_index: int, priority: int = 0,
                   transfer_bytes: int | None = None,
-                  cid: int = 0, label: str = "read") -> Generator:
+                  cid: int = 0, label: str = "read",
+                  fault_out: list | None = None) -> Generator:
         """NAND page read: sense on the die, then stream out on the bus.
 
         ``transfer_bytes`` limits the bus transfer to the requested slice
         of the page (a 4 KiB read senses a whole page but only moves
         4 KiB over the channel). ``cid``/``label`` tag the trace spans
         (e.g. the GC relocation path labels its reads ``gc``).
+
+        With faults armed, a read-disturbed page re-senses through the
+        firmware retry ladder (extra die-held latency per retry); if the
+        ladder exhausts, the die index is appended to ``fault_out`` so
+        the caller can fail the command with ``MEDIA_UNRECOVERED_READ``.
         """
         die = self.dies[die_index]
         traced = self.tracer.enabled
@@ -141,7 +151,16 @@ class FlashBackend:
         # timestamps below are only needed for trace spans).
         start = self.sim.now if traced else 0
         yield self.sim.timeout(self.timing.read_ns)
-        self._die_busy_ns[die_index] += self.timing.read_ns
+        busy_ns = self.timing.read_ns
+        if self.faults is not None:
+            retries, uncorrectable = self.faults.read_outcome()
+            if retries:
+                step = self.faults.plan.read_retry_step_ns or self.timing.read_ns
+                yield self.sim.timeout(retries * step)
+                busy_ns += retries * step
+            if uncorrectable and fault_out is not None:
+                fault_out.append(die_index)
+        self._die_busy_ns[die_index] += busy_ns
         if self._op_counters is not None:
             self._publish("read", die_index)
         die.release(req)
@@ -163,9 +182,20 @@ class FlashBackend:
                              track=f"die{die_index}", cid=cid, die=die_index)
 
     def program_page(self, die_index: int, priority: int = 0,
-                     cid: int = 0, label: str = "program") -> Generator:
-        """NAND page program: stream in on the bus, then program the die."""
+                     cid: int = 0, label: str = "program",
+                     cancel: list | None = None) -> Generator:
+        """NAND page program: stream in on the bus, then program the die.
+
+        Returns the number of injected program failures absorbed by the
+        firmware (each costs one extra ``program_ns`` on the held die —
+        the remap re-programs from the die register, no bus traffic), or
+        ``-1`` if ``cancel`` (a power-loss token ``[cancelled, started]``)
+        was set before the program began: the page never reached the
+        media and the caller must not drain the write buffer for it.
+        """
         traced = self.tracer.enabled
+        if cancel is not None and cancel[0]:
+            return -1
         started = self.sim.now if traced else 0
         bus = self._bus_of_die[die_index]
         breq = bus.request(priority)
@@ -175,8 +205,23 @@ class FlashBackend:
         die = self.dies[die_index]
         req = die.request(priority)
         yield req
+        if cancel is not None:
+            if cancel[0]:
+                die.release(req)
+                return -1
+            # Commit point: once programming starts, PLP capacitor energy
+            # carries the operation to completion on power loss.
+            cancel[1] = True
         yield self.sim.timeout(self.timing.program_ns)
-        self._die_busy_ns[die_index] += self.timing.program_ns
+        busy_ns = self.timing.program_ns
+        failures = 0
+        if self.faults is not None:
+            failures = self.faults.program_outcome()
+            if failures:
+                extra = failures * self.timing.program_ns
+                yield self.sim.timeout(extra)
+                busy_ns += extra
+        self._die_busy_ns[die_index] += busy_ns
         if self._op_counters is not None:
             self._publish("program", die_index)
         die.release(req)
@@ -184,6 +229,7 @@ class FlashBackend:
         if traced:
             self.tracer.span("nand", f"{label}.page", started, self.sim.now,
                              track=f"die{die_index}", cid=cid, die=die_index)
+        return failures
 
     def erase_block(self, die_index: int, priority: int = 0,
                     cid: int = 0, label: str = "erase") -> Generator:
@@ -194,7 +240,15 @@ class FlashBackend:
         yield req
         start = self.sim.now if traced else 0
         yield self.sim.timeout(self.timing.erase_ns)
-        self._die_busy_ns[die_index] += self.timing.erase_ns
+        busy_ns = self.timing.erase_ns
+        bad_block = False
+        if self.faults is not None:
+            retries, bad_block = self.faults.erase_outcome()
+            if retries:
+                extra = retries * self.timing.erase_ns
+                yield self.sim.timeout(extra)
+                busy_ns += extra
+        self._die_busy_ns[die_index] += busy_ns
         if self._op_counters is not None:
             self._publish("erase", die_index)
         die.release(req)
@@ -202,3 +256,4 @@ class FlashBackend:
         if traced:
             self.tracer.span("nand", f"{label}.block", start, self.sim.now,
                              track=f"die{die_index}", cid=cid, die=die_index)
+        return bad_block

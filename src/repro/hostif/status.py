@@ -25,13 +25,26 @@ class Status(Enum):
     TOO_MANY_ACTIVE_ZONES = "too_many_active_zones"
     TOO_MANY_OPEN_ZONES = "too_many_open_zones"
     INVALID_ZONE_STATE_TRANSITION = "invalid_zone_state_transition"
+    # NVMe media/data-integrity error: the read-retry ladder exhausted
+    # without correcting the data. DNR — the host must not retry.
+    MEDIA_UNRECOVERED_READ = "media_unrecovered_read"
+    # Host-side abort after a command timeout (fault-injection runs).
+    COMMAND_ABORTED = "command_aborted"
 
 
 # ``status.ok`` sits on every per-command hot path; a plain member
 # attribute avoids a property call (enum members accept attributes, and
 # pickling by name keeps this intact across worker processes).
+# ``status.retryable`` marks transient statuses the host resilience
+# layer may re-submit (bounded, with backoff); media errors are DNR.
+_RETRYABLE = frozenset((
+    "command_aborted",
+    "too_many_active_zones",
+    "too_many_open_zones",
+))
 for _status in Status:
     _status.ok = _status is Status.SUCCESS
+    _status.retryable = _status.value in _RETRYABLE
 del _status
 
 

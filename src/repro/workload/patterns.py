@@ -14,9 +14,19 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..hostif.commands import Command, Opcode
+from ..zns.spec import ZoneState
 
 __all__ = ["BACKOFF", "Backoff", "ZoneWriteCursor", "ZoneAppendCursor",
            "RandomReadPattern", "RangePattern"]
+
+
+def _dead(zone) -> bool:
+    """True when fault injection retired the zone from the write path.
+
+    In fault-free runs no zone ever reaches these states, so the check
+    never alters cursor behaviour (byte-identity with the golden runs).
+    """
+    return zone.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE)
 
 
 class Backoff:
@@ -66,8 +76,13 @@ class ZoneWriteCursor:
     def next_target(self) -> tuple[Optional[Command], Optional[int]]:
         """Returns (command, zone_to_reset). Exactly one is non-None,
         unless the cursor is exhausted (both None)."""
-        for _ in range(len(self.zone_ids) + 1):
+        for _ in range(2 * len(self.zone_ids) + 2):
             zone = self._zone()
+            if _dead(zone):
+                # Retired zone (fault injection): never write or reset it.
+                self._zone_pos = (self._zone_pos + 1) % len(self.zone_ids)
+                self._next_lba = None
+                continue
             if self._next_lba is None:
                 self._next_lba = zone.wp
             if self._next_lba + self.nlb <= zone.writable_end:
@@ -78,6 +93,8 @@ class ZoneWriteCursor:
             self._zone_pos = (self._zone_pos + 1) % len(self.zone_ids)
             self._next_lba = None
             nxt = self._zone()
+            if _dead(nxt):
+                continue
             if nxt.wp + self.nlb > nxt.writable_end:
                 if self.reset_when_full:
                     return None, nxt.index
@@ -109,10 +126,20 @@ class ZoneAppendCursor:
         return int(self._rng.integers(0, len(self.zone_ids)))
 
     def next_target(self) -> tuple[Optional[Command], Optional[int]]:
+        # NB: the iteration bound must stay exactly as in fault-free runs —
+        # random mode draws from the RNG every iteration, so a wider bound
+        # would shift the draw stream and break golden-run byte-identity.
+        # Dead-zone skips burn iterations, but the runner re-polls after
+        # BACKOFF, so progress only needs one live zone to be reachable.
         for _ in range(len(self.zone_ids) + 1):
             pos = self._pick_zone_pos()
             zone_id = self.zone_ids[pos]
             zone = self.device.zones.zones[zone_id]
+            if _dead(zone):
+                # Retired zone (fault injection): skip; appends and resets
+                # against READ_ONLY/OFFLINE zones can never succeed.
+                self._zone_pos = (self._zone_pos + 1) % len(self.zone_ids)
+                continue
             projected = zone.wp + self._reserved[zone_id] + self.nlb
             if projected <= zone.writable_end:
                 self._reserved[zone_id] += self.nlb

@@ -53,6 +53,10 @@ class JobResult:
     resets: int = 0
     errors: dict[Status, int] = field(default_factory=dict)
     measured_ns: int = 0
+    #: Degraded-mode accounting (fault-injection runs only): host-side
+    #: command-timeout aborts and bounded retries of retryable statuses.
+    timeouts: int = 0
+    retries: int = 0
 
     @property
     def iops(self) -> float:
@@ -108,6 +112,18 @@ class JobRunner:
             self._ops_counter = None
             self._bytes_counter = None
             self._latency_hist = None
+        # Host-side resilience policy (DESIGN.md §12): armed only when the
+        # device runs with fault injection, so fault-free runs keep the
+        # exact event sequence (and RNG draws) of the plain submit loop.
+        injector = getattr(device, "faults", None)
+        self._fault_plan = injector.plan if injector is not None else None
+        always_metrics = getattr(device, "metrics", None)
+        if self._fault_plan is not None and always_metrics is not None:
+            self._timeout_counter = always_metrics.counter("host.timeouts")
+            self._retry_counter = always_metrics.counter("host.retries")
+        else:
+            self._timeout_counter = None
+            self._retry_counter = None
 
     # -- orchestration ------------------------------------------------------
     def start(self) -> Event:
@@ -189,10 +205,65 @@ class JobRunner:
                     yield sim.timeout(delay)
                 if sim.now >= end_ns:
                     return
-            completion = yield submit(command)
+            if self._fault_plan is None:
+                completion = yield submit(command)
+            else:
+                completion = yield from self._submit_resilient(
+                    command, pattern, is_append)
+                if completion is None:
+                    continue  # timed out; accounted inside
             if is_append:
                 pattern.completed(command)
             self._record(completion)
+
+    def _submit_resilient(self, command, pattern, is_append: bool):
+        """Fault-mode submit: command timeout + bounded retry w/ backoff.
+
+        Returns the final completion, or ``None`` when the command timed
+        out (the abort is counted as ``COMMAND_ABORTED``; the in-flight
+        device work still finishes, and for appends the cursor
+        reservation is released when the straggler eventually lands).
+        Each retry restamps ``submitted_at`` — the recorded latency is
+        the final attempt's, while the backoff delay shows up as lost
+        throughput, which is the degraded-mode signal we want.
+        """
+        plan = self._fault_plan
+        sim = self.sim
+        attempts = 0
+        while True:
+            target = self.stack.submit(command)
+            if plan.command_timeout_ns is not None:
+                timer = sim.timeout(plan.command_timeout_ns)
+                yield sim.any_of([target, timer])
+                if not target.triggered:
+                    self.result.timeouts += 1
+                    errors = self.result.errors
+                    aborted = Status.COMMAND_ABORTED
+                    errors[aborted] = errors.get(aborted, 0) + 1
+                    if self._timeout_counter is not None:
+                        self._timeout_counter.inc()
+                    # The device cannot revoke in-flight NAND work, so the
+                    # abort drains the straggler before the slot moves on:
+                    # reusing the zone/slot immediately would violate the
+                    # host contract (e.g. one in-flight write per zone).
+                    # The command is still *lost* to the host — no latency
+                    # sample, an ABORTED error, stalled throughput.
+                    yield target
+                    if is_append:
+                        pattern.completed(command)
+                    return None
+                completion = target.value
+            else:
+                completion = yield target
+            if (completion.ok or not completion.status.retryable
+                    or attempts >= plan.max_retries):
+                return completion
+            attempts += 1
+            self.result.retries += 1
+            if self._retry_counter is not None:
+                self._retry_counter.inc()
+            yield sim.timeout(plan.retry_backoff_ns << (attempts - 1))
+            command.submitted_at = -1
 
     def _reset_zone(self, pattern, zone_id: int) -> Generator:
         if zone_id in self._resetting:
@@ -248,6 +319,11 @@ class ResetSweep:
         self.sim: Simulator = device.sim
         self.zone_ids = list(zone_ids)
         self.latency = LatencyStats()
+        #: Failed resets, keyed by status. A reset can legitimately fail
+        #: under fault injection (e.g. the zone was retired to OFFLINE),
+        #: so failures are recorded rather than raised — the sweep keeps
+        #: going and the caller inspects ``errors`` afterwards.
+        self.errors: dict[Status, int] = {}
 
     def start(self) -> Event:
         return self.sim.process(self._run())
@@ -262,7 +338,8 @@ class ResetSweep:
             command = Command(Opcode.ZONE_MGMT, slba=zslba, action=ZoneAction.RESET)
             completion = yield self.device.submit(command)
             if not completion.ok:
-                raise RuntimeError(
-                    f"reset of zone {zone_id} failed: {completion.status.value}"
+                self.errors[completion.status] = (
+                    self.errors.get(completion.status, 0) + 1
                 )
+                continue
             self.latency.record(completion.latency_ns)

@@ -75,6 +75,15 @@ class LatencyStats:
 
     @property
     def mean_ns(self) -> float:
+        """Mean latency; NaN when nothing completed.
+
+        Zero samples is a legitimate outcome under fault injection (an
+        aggressive profile can abort every command in the measurement
+        window), so the summary statistics degrade to NaN rather than
+        raising — the sweep still terminates and renders its tables.
+        """
+        if not self._samples:
+            return float("nan")
         return float(np.mean(self._sorted_samples()))
 
     @property
@@ -86,9 +95,14 @@ class LatencyStats:
         return int(self._sorted_samples()[-1])
 
     def percentile_ns(self, p: float) -> float:
-        """The p-th percentile latency (e.g. p=95 for the paper's p95)."""
+        """The p-th percentile latency (e.g. p=95 for the paper's p95).
+
+        NaN when no samples were recorded (see :attr:`mean_ns`).
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return float("nan")
         return float(np.percentile(self._sorted_samples(), p))
 
     @property

@@ -226,6 +226,52 @@ class ZoneManager:
             zone.wp = zone.zslba
             zone.finished_pad_lbas = 0
 
+    # -- fault/recovery arcs -----------------------------------------------------
+    def retire(self, zone: Zone, state: ZoneState) -> None:
+        """Firmware wear retirement arc (DESIGN.md §12).
+
+        Past the fault plan's program-failure threshold the firmware
+        takes the zone out of the writable lifecycle: ``READ_ONLY``
+        still serves reads, ``OFFLINE`` rejects everything (including
+        reset) and loses its data. Same mechanics as the
+        :meth:`force_state` fixture, but this is the *modeled* arc —
+        ``on_transition`` observers see it like any other transition.
+        """
+        self.force_state(zone, state)
+
+    def power_loss_rollback(self, zone: Zone, nlb: int) -> bool:
+        """Power-loss recovery arc: rewind ``nlb`` unpersisted LBAs.
+
+        On boot after a power cut, the firmware discards write-pointer
+        advancement whose data never reached the media (the dropped
+        write-buffer tail). A zone rewound to its start returns to
+        EMPTY; a FULL zone whose tail was lost reopens as CLOSED — or,
+        if the active-zone limit is already saturated, is torn down to
+        EMPTY entirely (the firmware cannot exceed its own limits).
+        Returns True when the zone was actually rolled back.
+        """
+        if nlb <= 0:
+            return False
+        if zone.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE):
+            return False
+        if zone.finished_pad_lbas:
+            # Finish padding is metadata, not buffered data; rewinding
+            # through it is not modeled.
+            return False
+        old_state = zone.state
+        zone.wp = max(zone.zslba, zone.wp - nlb)
+        if zone.wp == zone.zslba:
+            if old_state is not ZoneState.EMPTY:
+                self._enter(zone, ZoneState.EMPTY)
+        elif old_state is ZoneState.FULL:
+            if self._active_count < self.max_active:
+                self._enter(zone, ZoneState.CLOSED)
+            else:
+                zone.wp = zone.zslba
+                self._enter(zone, ZoneState.EMPTY)
+        # Open/closed zones keep their state with the rewound pointer.
+        return True
+
     # -- explicit management ----------------------------------------------------
     def open(self, zone: Zone) -> Status:
         state = zone.state

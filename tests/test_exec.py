@@ -78,12 +78,32 @@ class TestResultCache:
         assert other.key("fig2a", {"op": "write"}, {"seed": 1}, False) != base
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
+        # A truncated/garbled file (e.g. a worker killed mid-write) must
+        # read as a miss, be deleted so it never poisons a later run,
+        # and count toward the miss statistics.
         cache = ResultCache(tmp_path, version="v1")
         key = cache.key("fig2a", {}, {}, False)
         cache.store(key, {"payload": {}})
         path = cache._path(key)
         path.write_text("{not json")
         assert cache.load(key) is None
+        assert not path.exists()
+        assert cache.misses == 1
+        # The slot is usable again after the discard.
+        cache.store(key, {"payload": {"v": 1}})
+        assert cache.load(key)["payload"] == {"v": 1}
+
+    def test_wrong_shape_entry_is_discarded(self, tmp_path):
+        # Valid JSON that isn't a cache entry (not a dict, or a dict
+        # without "payload") is treated exactly like corruption.
+        cache = ResultCache(tmp_path, version="v1")
+        for blob in ('["a", "list"]', '{"no_payload": true}'):
+            key = cache.key("fig2a", {"blob": blob}, {}, False)
+            cache.store(key, {"payload": {}})
+            path = cache._path(key)
+            path.write_text(blob)
+            assert cache.load(key) is None
+            assert not path.exists()
 
     def test_code_version_is_stable_hex(self):
         first, second = code_version(), code_version()
@@ -289,6 +309,25 @@ class TestWorkerPool:
 
     def test_empty_task_list(self):
         assert WorkerPool(jobs=2).run([]) == {}
+
+    def test_respawn_budget_fails_fast(self, failure_plans):
+        # With a zero respawn budget, the first worker crash exhausts
+        # the pool: every task still outstanding (including the one
+        # that crashed) fails with a clear budget error instead of the
+        # pool respawn-thrashing or hanging forever.
+        pool = WorkerPool(jobs=1, max_respawns=0, retry_backoff_s=0.01)
+        tasks = [
+            {"task_id": i, "experiment_id": "failing",
+             "params": {"mode": mode},
+             "config": config_fields(tiny_config()),
+             "collect_metrics": False}
+            for i, mode in enumerate(["crash-once", "ok"])
+        ]
+        replies = pool.run(tasks)
+        assert sorted(replies) == [0, 1]
+        for reply in replies.values():
+            assert not reply["ok"]
+            assert "respawn budget exhausted" in reply["error"]
 
     def test_bad_job_count_rejected(self):
         with pytest.raises(ValueError):

@@ -1,5 +1,7 @@
 """Tests for the workload engine (jobs, patterns, pacing, runner)."""
 
+import math
+
 import pytest
 
 from repro.sim import Simulator, ms, sec, us
@@ -64,9 +66,15 @@ class TestStats:
         assert stats.percentile_us(95) == pytest.approx(95.05, rel=0.01)
         assert stats.min_ns == 1000 and stats.max_ns == 100_000
 
-    def test_latency_requires_samples(self):
+    def test_latency_empty_degrades_to_nan(self):
+        # Zero samples is legitimate under fault injection (an aggressive
+        # profile can abort every command), so summaries degrade to NaN
+        # instead of raising; min/max stay strict.
+        empty = LatencyStats()
+        assert math.isnan(empty.mean_ns)
+        assert math.isnan(empty.percentile_ns(95))
         with pytest.raises(ValueError):
-            LatencyStats().mean_ns
+            empty.min_ns
 
     def test_latency_merge(self):
         a, b = LatencyStats(), LatencyStats()
@@ -292,22 +300,30 @@ class TestResetSweep:
             z.state.value == "empty" for z in dev.zones.zones[:4]
         )
 
-    def test_sweep_raises_on_failure(self):
+    def test_sweep_records_failures(self):
+        # A reset that fails (e.g. the zone was retired OFFLINE by fault
+        # injection) is recorded in ``errors`` and the sweep continues —
+        # raising would abort a whole occupancy sweep over one dead zone.
         sim, dev = make_device()
+        dev.force_fill(1, dev.zones.zones[1].cap_lbas // 2)
         dev.zones.zones[0].state = __import__(
             "repro.zns", fromlist=["ZoneState"]
         ).ZoneState.OFFLINE
-        with pytest.raises(RuntimeError):
-            ResetSweep(dev, [0]).run()
+        sweep = ResetSweep(dev, [0, 1])
+        latencies = sweep.run()
+        assert latencies.count == 1  # zone 1 still reset fine
+        assert sum(sweep.errors.values()) == 1
 
 
 class TestRunnerResetFailure:
-    """A failed zone reset must count as an error, not a reset.
+    """Dead (retired) zones and failed resets in the runner.
 
-    Full zones marked READ_ONLY keep their write pointer (so the cursor
-    still asks for the reset) but reject the reset itself with
-    INVALID_ZONE_STATE_TRANSITION — the deterministic way to exercise
-    the runner's failed-reset path.
+    The write/append cursors skip READ_ONLY/OFFLINE zones outright (a
+    retired zone can neither be written nor reset), so a job whose every
+    target zone is dead terminates cleanly with zero I/O. A reset that
+    *does* fail — the zone was retired after the cursor asked for the
+    reset but before it was issued — must count as an error, not a
+    reset; that path is driven directly.
     """
 
     def _run_on_stuck_zones(self, op):
@@ -321,23 +337,32 @@ class TestRunnerResetFailure:
                       zones=[0, 1])
         return JobRunner(dev, SpdkStack(dev), job).run()
 
-    def test_failed_write_reset_counted_as_error(self):
-        from repro.hostif import Status
-
+    def test_write_job_on_dead_zones_terminates_cleanly(self):
         result = self._run_on_stuck_zones(IoKind.WRITE)
-        assert result.errors.get(Status.INVALID_ZONE_STATE_TRANSITION, 0) >= 1
-        # The failed resets must not be counted as resets...
-        assert result.resets == 0 and result.reset_latency.count == 0
-        # ...and the zones were never writable, so no I/O completed.
         assert result.ops == 0
+        assert result.resets == 0 and result.reset_latency.count == 0
+        assert not result.errors  # skipped, never issued
 
-    def test_failed_append_reset_counted_as_error(self):
-        from repro.hostif import Status
-
+    def test_append_job_on_dead_zones_terminates_cleanly(self):
         result = self._run_on_stuck_zones(IoKind.APPEND)
-        assert result.errors.get(Status.INVALID_ZONE_STATE_TRANSITION, 0) >= 1
-        assert result.resets == 0 and result.reset_latency.count == 0
         assert result.ops == 0
+        assert result.resets == 0 and result.reset_latency.count == 0
+        assert not result.errors
+
+    def test_failed_reset_counted_as_error(self):
+        from repro.hostif import Status
+        from repro.zns import ZoneState
+
+        sim, dev = make_device()
+        dev.force_fill(0, dev.zones.zones[0].cap_lbas)
+        dev.inject_zone_failure(0, ZoneState.READ_ONLY)
+        job = JobSpec(op=IoKind.WRITE, block_size=64 * KIB, runtime_ns=ms(5),
+                      zones=[0])
+        runner = JobRunner(dev, SpdkStack(dev), job)
+        runner._ramp_end_ns = 0  # _reset_zone reads it for latency gating
+        sim.run(until=sim.process(runner._reset_zone(object(), 0)))
+        assert runner.result.errors == {Status.INVALID_ZONE_STATE_TRANSITION: 1}
+        assert runner.result.resets == 0 and runner.result.reset_latency.count == 0
 
 class TestBackoffSurvival:
     def test_high_qd_append_slots_survive_zone_boundaries(self):

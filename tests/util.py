@@ -13,10 +13,11 @@ def quiet_profile(**overrides):
     return zn540_small(jitter_sigma=0.0, mgmt_jitter_sigma=0.0, **overrides)
 
 
-def make_device(profile=None, lba_format=LBA_4K, tracer=None, metrics=None):
+def make_device(profile=None, lba_format=LBA_4K, tracer=None, metrics=None,
+                faults=None):
     sim = Simulator()
     device = ZnsDevice(sim, profile or quiet_profile(), lba_format=lba_format,
-                       tracer=tracer, metrics=metrics)
+                       tracer=tracer, metrics=metrics, faults=faults)
     return sim, device
 
 
