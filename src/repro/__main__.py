@@ -5,7 +5,12 @@ Commands
 ``env``          print the simulated testbed configuration (Table II)
 ``run``          run paper experiments and print their tables; ``--trace``
                  / ``--trace-perfetto`` / ``--metrics`` record and export
-                 command-lifecycle observability data
+                 command-lifecycle observability data; ``--telemetry``
+                 samples windowed timeseries and persists a run
+                 directory (``--run-dir``) for ``repro report``
+``report``       render a run directory written by ``run --telemetry``
+                 into a self-contained HTML dashboard (tables + inline
+                 SVG sparklines, no external assets)
 ``profile``      run one experiment traced and print the per-layer
                  simulated-time breakdown (``--self`` for a built-in
                  smoke workload)
@@ -30,11 +35,13 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 
 from .core import ExperimentConfig, run_experiments, table1, table2
 from .core.report import EXPERIMENT_RUNNERS
 from .obs import MetricsRegistry, Tracer
+from .obs.telemetry import DEFAULT_INTERVAL_US
 from .sim.engine import ms
 
 
@@ -100,6 +107,28 @@ def main(argv: list[str] | None = None) -> int:
                             help="inject faults: a preset name (see "
                                  "'faults list') or a JSON profile path; "
                                  "deterministic under --seed and --jobs")
+    run_parser.add_argument("--telemetry", metavar="US", nargs="?",
+                            type=float, const=DEFAULT_INTERVAL_US,
+                            default=None,
+                            help="sample windowed telemetry every US "
+                                 "simulated microseconds (default "
+                                 f"{DEFAULT_INTERVAL_US:g}) and persist a "
+                                 "run directory; timeseries are "
+                                 "byte-identical at any --jobs")
+    run_parser.add_argument("--run-dir", metavar="DIR", default=None,
+                            help="run-directory path (default "
+                                 "runs/<timestamp> when --telemetry is "
+                                 "on); view with 'repro report DIR'")
+    report_parser = sub.add_parser(
+        "report", help="render a run directory to a self-contained "
+                       "HTML dashboard")
+    report_parser.add_argument("run_dir",
+                               help="directory written by run --telemetry")
+    report_parser.add_argument("--output", "-o", metavar="PATH",
+                               default=None,
+                               help="output HTML path (default "
+                                    "<run_dir>/report.html; '-' prints "
+                                    "to stdout)")
     profile_parser = sub.add_parser(
         "profile", help="trace one experiment, print per-layer breakdown")
     profile_parser.add_argument("experiment", nargs="?",
@@ -171,8 +200,14 @@ def main(argv: list[str] | None = None) -> int:
                                    "and fail on regression")
     bench_parser.add_argument("--max-regression", type=float, default=0.20,
                               metavar="FRACTION",
-                              help="allowed events/sec drop vs the baseline "
-                                   "(default %(default)s)")
+                              help="allowed aggregate events/sec drop vs "
+                                   "the baseline, and the per-experiment "
+                                   "floor allowance (default %(default)s)")
+    bench_parser.add_argument("--stdev-k", type=float, default=6.0,
+                              metavar="K",
+                              help="per-experiment gates fail below "
+                                   "baseline mean - K x recorded stdev "
+                                   "(schema-2 reps; default %(default)s)")
     cache_parser = sub.add_parser(
         "cache", help="manage the point-result cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command",
@@ -219,6 +254,16 @@ def main(argv: list[str] | None = None) -> int:
         metrics = MetricsRegistry() if args.metrics else None
         if tracer is not None or metrics is not None:
             config = dataclasses.replace(config, tracer=tracer, metrics=metrics)
+        telemetry_us = args.telemetry
+        if telemetry_us is not None:
+            if tracer is not None:
+                run_parser.error("--telemetry cannot be combined with "
+                                 "--trace (traced runs bypass the "
+                                 "execution engine)")
+            if telemetry_us <= 0:
+                run_parser.error("--telemetry interval must be > 0 µs")
+            config = dataclasses.replace(
+                config, telemetry_interval_ns=int(telemetry_us * 1000))
         if tracer is not None:
             # Tracing records one in-process timeline; spans cannot be
             # merged across workers, so traced runs stay serial.
@@ -229,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         else:
             from .exec import execute_experiments
 
-            results, _report = execute_experiments(
+            results, report = execute_experiments(
                 args.ids or None, config, jobs=args.jobs,
                 cache_dir=None if args.no_cache else args.cache,
                 progress=lambda message: print(message, file=sys.stderr),
@@ -237,6 +282,25 @@ def main(argv: list[str] | None = None) -> int:
             for result in results.values():
                 print(result.table())
                 print()
+            if args.run_dir is not None or telemetry_us is not None:
+                import time
+
+                from .obs.report import write_run
+
+                run_dir = args.run_dir or time.strftime("runs/%Y%m%d-%H%M%S")
+                manifest = {
+                    "ids": sorted(results),
+                    "seed": args.seed,
+                    "fast": args.fast,
+                    "scale": args.scale,
+                    "faults": config.faults,
+                    "interval_us": telemetry_us,
+                    "jobs": args.jobs,
+                    "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                }
+                paths = write_run(run_dir, results, report, manifest)
+                print(f"[run] wrote {len(paths)} artifacts -> {run_dir} "
+                      f"(view: repro report {run_dir})", file=sys.stderr)
         if tracer is not None:
             if args.trace:
                 count = tracer.write_jsonl(args.trace)
@@ -248,6 +312,25 @@ def main(argv: list[str] | None = None) -> int:
         if metrics is not None:
             print()
             print(metrics.table())
+        return 0
+
+    if args.command == "report":
+        from .obs.report import load_run, render_html
+
+        try:
+            run = load_run(args.run_dir)
+        except (FileNotFoundError, ValueError) as exc:
+            report_parser.error(str(exc))
+        page = render_html(run)
+        if args.output == "-":
+            sys.stdout.write(page)
+            return 0
+        out_path = args.output or os.path.join(args.run_dir, "report.html")
+        with open(out_path, "w", encoding="utf-8") as fh:
+            fh.write(page)
+        segments = sum(len(v) for v in run["telemetry"].values())
+        print(f"[report] {len(run['results'])} experiments, "
+              f"{segments} telemetry segments -> {out_path}")
         return 0
 
     if args.command == "profile":
@@ -359,13 +442,15 @@ def main(argv: list[str] | None = None) -> int:
                 fh.write("\n")
             print(f"[bench] wrote {args.output}")
         if baseline is not None:
-            failures = bench.compare(doc, baseline, args.max_regression)
+            failures = bench.compare(doc, baseline, args.max_regression,
+                                     stdev_k=args.stdev_k)
             for failure in failures:
                 print(f"[bench] FAIL: {failure}", file=sys.stderr)
             if failures:
                 return 1
-            print(f"[bench] within {args.max_regression:.0%} of baseline "
-                  f"({args.baseline})")
+            print(f"[bench] within baseline gates ({args.baseline}: "
+                  f"aggregate {args.max_regression:.0%}, per-experiment "
+                  f"mean - {args.stdev_k:g} x stdev)")
         return 0
 
     if args.command == "cache":

@@ -59,6 +59,7 @@ class ConvDevice(DeviceCore):
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         faults=None,
+        telemetry=None,
     ):
         self.ftl = PageMappedFtl(profile.geometry, profile.overprovision)
         # Round the namespace down to a whole number of logical pages.
@@ -66,6 +67,7 @@ class ConvDevice(DeviceCore):
         super().__init__(
             sim, profile, logical_bytes, lba_format, streams or StreamFactory(),
             tracer, metrics, io_stream="conv-io", faults=faults,
+            telemetry=telemetry,
         )
         self.backend = FlashBackend(
             sim, profile.geometry, profile.nand, profile.channel_bandwidth,
@@ -113,6 +115,13 @@ class ConvDevice(DeviceCore):
         raise ValueError(
             f"conventional device does not support {command.opcode.value}"
         )
+
+    def _telemetry_levels(self) -> dict:
+        levels = super()._telemetry_levels()
+        levels["ftl.free_frac"] = round(self.ftl.free_fraction, 6)
+        levels["gc.running"] = 1 if self._gc_running else 0
+        levels["gc.inflight_blocks"] = len(self._gc_inflight_blocks)
+        return levels
 
     def _require_reformattable(self) -> None:
         if self._gc_running or self.buffer.level:

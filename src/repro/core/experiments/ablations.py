@@ -190,6 +190,7 @@ def _gc_priority_point(config: ExperimentConfig, params: dict) -> dict:
         sim, conv_experiment_profile(), lba_format=LBA_4K,
         streams=StreamFactory(config.seed), gc_priority=priority,
         faults=resolve(config.faults),
+        telemetry=config.telemetry,
     )
     device.precondition(0.92, steady_state_churn=1.0, seed=config.seed)
     runtime = min(config.interference_runtime_ns, ms(900))

@@ -75,6 +75,17 @@ class ExperimentConfig:
     #: resolved plan) so configs stay JSON-serializable for the result
     #: cache key — two runs with the same spec share cache entries.
     faults: Optional[str] = None
+    #: Telemetry sampling interval in simulated nanoseconds, or ``None``
+    #: (the default) for no time-resolved sampling. Like ``faults`` this
+    #: is the plain scalar — it participates in the cache key and ships
+    #: to worker processes — while the live collector below is runtime
+    #: state the execution engine installs per point.
+    telemetry_interval_ns: Optional[int] = None
+    #: Live :class:`~repro.obs.telemetry.TelemetryCollector` every device
+    #: built for the current point attaches to. Excluded from
+    #: repr/compare (and from the cache key) like the tracer/metrics
+    #: hooks above.
+    telemetry: Optional[object] = field(default=None, repr=False, compare=False)
 
     def scaled(self, duration_scale: float) -> "ExperimentConfig":
         """Stretch all durations/sweep sizes by a factor."""
@@ -113,6 +124,7 @@ def build_device(
         streams=StreamFactory(config.seed, salt=seed_salt),
         tracer=config.tracer, metrics=config.metrics,
         faults=resolve(config.faults),
+        telemetry=config.telemetry,
     )
     return sim, device
 

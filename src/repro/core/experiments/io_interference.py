@@ -78,6 +78,7 @@ def _build_conv(config: ExperimentConfig):
         sim, conv_experiment_profile(), lba_format=LBA_4K,
         streams=StreamFactory(config.seed),
         faults=resolve(config.faults),
+        telemetry=config.telemetry,
     )
     # 92% utilization (a heavily filled enterprise device) plus enough
     # random churn to reach the greedy-GC steady state before measuring.

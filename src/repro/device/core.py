@@ -123,6 +123,7 @@ class DeviceCore:
         metrics: Optional[MetricsRegistry],
         io_stream: str,
         faults=None,
+        telemetry=None,
     ):
         self.sim = sim
         self.profile = profile
@@ -130,8 +131,14 @@ class DeviceCore:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: True when the caller asked for observability. Hot paths gate
         #: per-command histogram/gauge updates on this so default runs
-        #: pay only the always-on DeviceCounters facade.
-        self.observing = metrics is not None or self.tracer.enabled
+        #: pay only the always-on DeviceCounters facade. A telemetry
+        #: collector implies observability: the sampler reads this
+        #: device's registry, so the instrumented paths must feed it even
+        #: when the caller never asked for aggregate ``--metrics`` output
+        #: (the private registry created above absorbs them).
+        self.observing = (
+            metrics is not None or self.tracer.enabled or telemetry is not None
+        )
         self.tracer.register_process(f"{self.kind}:{profile.name}")
         self.namespace = Namespace(capacity_bytes, lba_format)
         self.controller = Resource(sim, capacity=1, name="controller")
@@ -168,6 +175,13 @@ class DeviceCore:
         self._read_shapes: dict = {}
         self._write_shapes: dict = {}
         self._bind_plan_caches()
+        #: Windowed timeseries sampler (DESIGN.md §13), attached to this
+        #: device's simulator tick hook. ``None`` (the default) leaves
+        #: the simulator hook-free and every path byte-identical. The
+        #: subclass-populated hooks it reads (``backend``, zone tables,
+        #: FTL) are only touched at window boundaries during the run,
+        #: after construction completes.
+        self.telemetry = telemetry.attach(self) if telemetry is not None else None
 
     # --------------------------------------------------------------- planner
     def _bind_plan_caches(self) -> None:
@@ -312,6 +326,31 @@ class DeviceCore:
             self.tracer.span("fault", "power_loss_recovery", start,
                              self.sim.now, track="controller")
         self.controller.release(req)
+
+    # ------------------------------------------------------------ telemetry
+    def _telemetry_levels(self) -> dict:
+        """Instantaneous levels sampled per telemetry window (model hook).
+
+        Keys are column names; values are point-in-time numbers the
+        registry does not carry. Subclasses extend with their media-side
+        state (zone census, FTL free space, GC occupancy).
+        """
+        controller = self.controller
+        return {
+            "ctrl.queue": controller.queue_length + controller.in_use,
+            "wbuf.level_bytes": self.buffer.level,
+        }
+
+    def _telemetry_cumulative(self) -> dict:
+        """Monotonic totals sampled per window; the sampler emits deltas
+        (``*.busy_ns`` keys become busy fractions of the window)."""
+        backend = getattr(self, "backend", None)
+        if backend is None:
+            return {}
+        return {
+            f"nand.die{i}.busy_ns": busy
+            for i, busy in enumerate(backend._die_busy_ns)
+        }
 
     def _power_loss_drop(self, target: int) -> tuple[int, int]:
         """Drop up to ``target`` unpersisted buffered bytes (model hook).

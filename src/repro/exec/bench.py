@@ -24,10 +24,13 @@ side varies across reps; that variance history is what per-experiment
 CI gates need to pick thresholds that outrun runner noise.
 
 A committed benchmark file doubles as a regression gate:
-:func:`compare` checks a fresh run's aggregate ``events_per_s`` against
-the baseline and reports a failure when it drops by more than the
-allowed fraction (CI runs this with a generous margin; shared runners
-are noisy).
+:func:`compare` checks a fresh run against the baseline both in
+aggregate (fractional allowance) and per experiment, where the
+threshold is sized from the baseline's recorded stdevs
+(``mean − k·stdev``) so a stable experiment gets a tight gate and a
+noisy one a loose gate — instead of one margin wide enough for the
+noisiest member (CI runs this against the committed
+``benchmarks/BENCH_baseline.json``).
 """
 
 from __future__ import annotations
@@ -148,26 +151,56 @@ def run_bench(
 
 
 def compare(current: dict[str, Any], baseline: dict[str, Any],
-            max_regression: float = 0.20) -> list[str]:
+            max_regression: float = 0.20,
+            stdev_k: float = 6.0) -> list[str]:
     """Failure messages if ``current`` regressed past the baseline.
 
-    The gate is the aggregate ``events_per_s``; per-experiment rates are
-    too noisy to fail on, so they are reported (not enforced) by the
-    CLI. Runs with no freshly-executed points (100% cache hits) carry
-    no timing signal and never fail the gate.
+    Two gates:
+
+    * the historical **aggregate** ``events_per_s`` gate (a drop of more
+      than ``max_regression`` fails), kept as a safety net, and
+    * a **per-experiment** gate sized from the baseline's schema-2
+      rep-to-rep stdevs: experiment ``e`` fails when its rate falls
+      below ``mean_e − max(stdev_k·stdev_e, max_regression·mean_e)``.
+      The stdev term lets a noisy short experiment breathe while a long
+      stable one gets a tight threshold; the fractional term is the
+      floor for baselines recorded with ``reps == 1`` (stdev 0.0),
+      where a pure stdev gate would fail on any jitter at all.
+
+    Rates of zero on either side mean "no timing signal" (e.g. a 100%
+    cache-hit run) and never fail; experiments absent from either
+    document are skipped.
     """
     failures: list[str] = []
     base_rate = float(baseline.get("events_per_s") or 0.0)
     cur_rate = float(current.get("events_per_s") or 0.0)
-    if base_rate <= 0.0 or cur_rate <= 0.0:
-        return failures
-    floor = base_rate * (1.0 - max_regression)
-    if cur_rate < floor:
-        failures.append(
-            f"events_per_s regressed: {cur_rate:.0f} < "
-            f"{floor:.0f} (baseline {base_rate:.0f} "
-            f"- {max_regression:.0%} allowance)"
-        )
+    if base_rate > 0.0 and cur_rate > 0.0:
+        floor = base_rate * (1.0 - max_regression)
+        if cur_rate < floor:
+            failures.append(
+                f"events_per_s regressed: {cur_rate:.0f} < "
+                f"{floor:.0f} (baseline {base_rate:.0f} "
+                f"- {max_regression:.0%} allowance)"
+            )
+    base_rows = baseline.get("experiments") or {}
+    cur_rows = current.get("experiments") or {}
+    for exp_id in sorted(base_rows):
+        row = cur_rows.get(exp_id)
+        if row is None:
+            continue
+        base_exp = float(base_rows[exp_id].get("events_per_s") or 0.0)
+        cur_exp = float(row.get("events_per_s") or 0.0)
+        if base_exp <= 0.0 or cur_exp <= 0.0:
+            continue
+        stdev = float(base_rows[exp_id].get("events_per_s_stdev") or 0.0)
+        allowance = max(stdev_k * stdev, base_exp * max_regression)
+        floor = base_exp - allowance
+        if cur_exp < floor:
+            failures.append(
+                f"{exp_id} events_per_s regressed: {cur_exp:.0f} < "
+                f"{floor:.0f} (baseline {base_exp:.0f} - "
+                f"max({stdev_k:g}×{stdev:.0f}, {max_regression:.0%}))"
+            )
     return failures
 
 

@@ -51,11 +51,12 @@ __all__ = [
 
 
 def config_fields(config: ExperimentConfig) -> dict[str, Any]:
-    """The scalar config fields (drops the tracer/metrics hooks)."""
+    """The scalar config fields (drops the tracer/metrics/telemetry
+    hooks; the telemetry *interval* is a scalar and stays in)."""
     return {
         f.name: getattr(config, f.name)
         for f in dataclasses.fields(config)
-        if f.name not in ("tracer", "metrics")
+        if f.name not in ("tracer", "metrics", "telemetry")
     }
 
 
@@ -96,6 +97,12 @@ class ExecutionReport:
     cache_hits: int = 0
     executed: int = 0
     failed: int = 0
+    #: Merged time-resolved telemetry (experiment id → segment list in
+    #: plan order), populated only when the config carries a sampling
+    #: interval. Segments are canonical JSON values — deterministic at
+    #: any ``--jobs`` because the merge below runs in plan order and the
+    #: samplers never perturb the simulation.
+    telemetry: dict[str, list] = field(default_factory=dict)
 
     @property
     def events(self) -> int:
@@ -184,6 +191,7 @@ class _Point:
 def _run_point_inline(plans, task: dict, config: ExperimentConfig) -> dict:
     """Execute one task in-process (the ``jobs == 1`` path)."""
     from ..obs.metrics import MetricsRegistry
+    from ..obs.telemetry import TelemetryCollector
 
     started = time.perf_counter()
     events_before = events_total()
@@ -193,12 +201,20 @@ def _run_point_inline(plans, task: dict, config: ExperimentConfig) -> dict:
         if task["collect_metrics"]:
             metrics = MetricsRegistry()
             run_config = dataclasses.replace(config, metrics=metrics)
+        telemetry = None
+        if config.telemetry_interval_ns:
+            # Fresh collector per point (never the caller's): segments
+            # must stay separated by point for plan-order merging, same
+            # as the worker path.
+            telemetry = TelemetryCollector(config.telemetry_interval_ns)
+            run_config = dataclasses.replace(run_config, telemetry=telemetry)
         payload = plans[task["experiment_id"]].point(run_config, task["params"])
         return {
             "task_id": task["task_id"],
             "ok": True,
             "payload": payload,
             "metrics": metrics.snapshot() if metrics is not None else None,
+            "telemetry": telemetry.drain() if telemetry is not None else None,
             "elapsed_s": time.perf_counter() - started,
             "events": events_total() - events_before,
             "attempts": 1,
@@ -235,6 +251,12 @@ def execute_experiments(
             "merged across workers; run traced experiments serially via "
             "the legacy path (repro run --trace forces it)"
         )
+    if config.telemetry is not None:
+        raise ValueError(
+            "pass telemetry_interval_ns, not a live collector: the engine "
+            "creates one collector per sweep point so segments merge in "
+            "plan order"
+        )
     # Ids resolve against the auxiliary-inclusive registry (so "sec4"
     # runs through the same machinery), but the default id list is the
     # main suite only.
@@ -268,6 +290,7 @@ def execute_experiments(
     # 2. Serve finished points from the cache.
     records: dict[int, PointRecord] = {}
     snapshots: dict[int, Optional[dict]] = {}
+    segments: dict[int, Optional[list]] = {}
     misses: list[_Point] = []
     for point in points:
         if cache is not None:
@@ -281,6 +304,7 @@ def execute_experiments(
             if entry is not None:
                 payloads[point.experiment_id][point.index] = entry["payload"]
                 snapshots[point.task_id] = entry.get("metrics")
+                segments[point.task_id] = entry.get("telemetry")
                 records[point.task_id] = PointRecord(
                     point.experiment_id, point.label, "cache",
                     entry.get("elapsed_s", 0.0),
@@ -331,9 +355,21 @@ def execute_experiments(
             say(f"[exec] {done[0]}/{total} {point.experiment_id}:"
                 f"{point.label} FAILED after {reply['attempts']} attempt(s)")
 
+    def on_progress(task: dict, message: dict) -> None:
+        point = by_id[task["task_id"]]
+        name = f"{point.experiment_id}:{point.label}"
+        if message.get("progress") == "started":
+            say(f"[exec] {name} started (pid {message.get('pid')})")
+        else:
+            elapsed = message.get("elapsed_s") or 0.0
+            events = int(message.get("events") or 0)
+            rate = events / elapsed / 1e3 if elapsed > 0 else 0.0
+            say(f"[exec] {name} running: {events:,} events in "
+                f"{elapsed:.0f}s ({rate:.0f} kev/s, pid {message.get('pid')})")
+
     if jobs > 1 and len(tasks) > 1:
         pool = WorkerPool(jobs, timeout_s=timeout_s)
-        replies = pool.run(tasks, on_reply=on_reply)
+        replies = pool.run(tasks, on_reply=on_reply, on_progress=on_progress)
     else:
         replies = {}
         for task in tasks:
@@ -358,8 +394,12 @@ def execute_experiments(
         metrics_snapshot = reply.get("metrics")
         if metrics_snapshot is not None:
             metrics_snapshot = canonical_payload(metrics_snapshot)
+        point_segments = reply.get("telemetry")
+        if point_segments is not None:
+            point_segments = canonical_payload(point_segments)
         payloads[point.experiment_id][point.index] = payload
         snapshots[point.task_id] = metrics_snapshot
+        segments[point.task_id] = point_segments
         records[point.task_id] = PointRecord(
             point.experiment_id, point.label, "run", reply["elapsed_s"],
             attempts=reply.get("attempts", 1),
@@ -372,6 +412,7 @@ def execute_experiments(
                 "label": point.label,
                 "payload": payload,
                 "metrics": metrics_snapshot,
+                "telemetry": point_segments,
                 "elapsed_s": reply["elapsed_s"],
                 "events": int(reply.get("events", 0)),
             })
@@ -390,6 +431,17 @@ def execute_experiments(
             snapshot = snapshots.get(point.task_id)
             if snapshot:
                 config.metrics.merge_snapshot(snapshot)
+    if config.telemetry_interval_ns:
+        # Same plan-order discipline as the metrics merge: the combined
+        # timeseries is independent of worker scheduling and --jobs.
+        for point in points:
+            for segment in segments.get(point.task_id) or []:
+                segment = dict(segment)
+                segment["experiment_id"] = point.experiment_id
+                segment["point"] = point.label
+                report.telemetry.setdefault(
+                    point.experiment_id, []
+                ).append(segment)
     results = {
         exp_id: assemble(plans[exp_id], config, payloads[exp_id])
         for exp_id in ids

@@ -14,32 +14,56 @@ A sweep never hangs and never loses more than the one offending point.
 Task / reply protocol (everything picklable and JSON-able)::
 
     task  = {"task_id": int, "experiment_id": str, "params": dict,
-             "config": dict, "collect_metrics": bool}
+             "config": dict, "collect_metrics": bool,
+             "heartbeat_s": float}                    # 0 → no progress
     reply = {"task_id": int, "ok": True, "payload": dict,
-             "metrics": dict | None, "elapsed_s": float,
-             "events": int, "attempts": int}
+             "metrics": dict | None, "telemetry": list | None,
+             "elapsed_s": float, "events": int, "attempts": int}
           | {"task_id": int, "ok": False, "error": str,
              "attempts": int}
 
+Interleaved with replies, workers emit **progress messages** — any
+message carrying a ``"progress"`` key is informational, never a task
+outcome, and the parent forwards it to ``on_progress`` without touching
+pool bookkeeping::
+
+    {"task_id": int, "progress": "started", "pid": int}
+    {"task_id": int, "progress": "heartbeat", "pid": int,
+     "elapsed_s": float, "events": int}
+
+The heartbeat runs on a worker-side thread sampling the process-wide
+event counter; a lock serializes its pipe writes against the main reply,
+so messages never interleave mid-frame. Heartbeats report liveness only
+— the per-point deadline is not extended by them (a point that is alive
+but over budget is still killed).
+
 Workers build the :class:`ExperimentConfig` from the scalar ``config``
 fields and look the experiment up in the shared plan registry, so each
-point runs exactly the code the serial path runs.
+point runs exactly the code the serial path runs. When the config
+carries a telemetry interval the worker creates the per-point
+:class:`~repro.obs.telemetry.TelemetryCollector` itself and ships the
+drained segments in the reply.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import multiprocessing as mp
+import os
+import threading
 import time
 import traceback
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Callable, Optional
 
-__all__ = ["WorkerPool", "DEFAULT_POINT_TIMEOUT_S"]
+__all__ = ["WorkerPool", "DEFAULT_POINT_TIMEOUT_S", "DEFAULT_HEARTBEAT_S"]
 
 #: Generous per-point wall-clock budget; the longest full-scale point
 #: (fig6 interference timelines) simulates in well under a minute.
 DEFAULT_POINT_TIMEOUT_S = 600.0
+
+#: Interval between worker liveness heartbeats while a point runs.
+DEFAULT_HEARTBEAT_S = 5.0
 
 
 def _worker_main(conn: Connection) -> None:
@@ -47,9 +71,21 @@ def _worker_main(conn: Connection) -> None:
     from ..core.experiments.common import ExperimentConfig
     from ..core.experiments.points import experiment_plans
     from ..obs.metrics import MetricsRegistry
+    from ..obs.telemetry import TelemetryCollector
     from ..sim.engine import events_total
 
     plans = experiment_plans(auxiliary=True)
+    pid = os.getpid()
+    send_lock = threading.Lock()
+
+    def send(message: dict) -> bool:
+        try:
+            with send_lock:
+                conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
     while True:
         try:
             task = conn.recv()
@@ -57,33 +93,65 @@ def _worker_main(conn: Connection) -> None:
             return
         if task is None:
             return
+        task_id = task["task_id"]
         started = time.perf_counter()
         events_before = events_total()
+        heartbeat_s = task.get("heartbeat_s") or 0.0
+        stop: Optional[threading.Event] = None
+        beat_thread: Optional[threading.Thread] = None
+        if heartbeat_s > 0:
+            if not send({"task_id": task_id, "progress": "started", "pid": pid}):
+                return
+            stop = threading.Event()
+
+            def beat() -> None:
+                while not stop.wait(heartbeat_s):
+                    alive = send({
+                        "task_id": task_id,
+                        "progress": "heartbeat",
+                        "pid": pid,
+                        "elapsed_s": time.perf_counter() - started,
+                        "events": events_total() - events_before,
+                    })
+                    if not alive:
+                        return
+
+            beat_thread = threading.Thread(
+                target=beat, name="repro-heartbeat", daemon=True
+            )
+            beat_thread.start()
         try:
             config = ExperimentConfig(**task["config"])
             metrics = None
             if task["collect_metrics"]:
                 metrics = MetricsRegistry()
                 config = dataclasses.replace(config, metrics=metrics)
+            telemetry = None
+            if config.telemetry_interval_ns:
+                telemetry = TelemetryCollector(config.telemetry_interval_ns)
+                config = dataclasses.replace(config, telemetry=telemetry)
             plan = plans[task["experiment_id"]]
             payload = plan.point(config, task["params"])
             reply = {
-                "task_id": task["task_id"],
+                "task_id": task_id,
                 "ok": True,
                 "payload": payload,
                 "metrics": metrics.snapshot() if metrics is not None else None,
+                "telemetry": telemetry.drain() if telemetry is not None else None,
                 "elapsed_s": time.perf_counter() - started,
                 "events": events_total() - events_before,
             }
         except BaseException:
             reply = {
-                "task_id": task["task_id"],
+                "task_id": task_id,
                 "ok": False,
                 "error": traceback.format_exc(),
             }
-        try:
-            conn.send(reply)
-        except (BrokenPipeError, OSError):
+        finally:
+            if stop is not None:
+                stop.set()
+                beat_thread.join(timeout=5)
+        if not send(reply):
             return
 
 
@@ -123,12 +191,16 @@ class WorkerPool:
 
     def __init__(self, jobs: int, timeout_s: float = DEFAULT_POINT_TIMEOUT_S,
                  max_attempts: int = 2, mp_context=None,
-                 retry_backoff_s: float = 0.5, max_respawns: int = 8):
+                 retry_backoff_s: float = 0.5, max_respawns: int = 8,
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.timeout_s = timeout_s
         self.max_attempts = max_attempts
+        #: Worker liveness-heartbeat interval; ``0`` disables progress
+        #: messages entirely (tasks carry the value to the worker).
+        self.heartbeat_s = heartbeat_s
         #: Base delay before retrying a failed point (doubles per attempt,
         #: plus a small per-task jitter so retries don't restart in
         #: lockstep after a machine-wide stall, e.g. OOM-killer sweeps).
@@ -153,14 +225,20 @@ class WorkerPool:
         self,
         tasks: list[dict],
         on_reply: Optional[Callable[[dict, dict], None]] = None,
+        on_progress: Optional[Callable[[dict, dict], None]] = None,
     ) -> dict[int, dict]:
         """Run every task; returns task_id → final reply.
 
         ``on_reply(task, reply)`` fires once per task when its final
         reply (success, or failure after the retry) is known.
+        ``on_progress(task, message)`` fires for every worker progress
+        message (point started, periodic heartbeat) — informational
+        only, possibly more than once per task and attempt.
         """
         if not tasks:
             return {}
+        for task in tasks:
+            task.setdefault("heartbeat_s", self.heartbeat_s)
         pending = list(reversed(tasks))  # pop() serves original order
         attempts: dict[int, int] = {t["task_id"]: 0 for t in tasks}
         replies: dict[int, dict] = {}
@@ -245,16 +323,24 @@ class WorkerPool:
                 wait_s = max(0.0, min(deadline - time.monotonic(), 1.0))
                 ready = connection_wait(list(busy), timeout=wait_s)
                 for conn in ready:
-                    task, _, worker = busy.pop(conn)
+                    task, _, worker = busy[conn]
                     try:
                         reply = conn.recv()
                     except (EOFError, OSError):
                         # Worker died mid-point: replace it, retry the task.
+                        busy.pop(conn)
                         pid, exitcode = worker.process.pid, worker.process.exitcode
                         respawn(worker)
                         fail(task, "worker process crashed "
                                    f"(pid {pid}, exitcode {exitcode})")
                         continue
+                    if reply.get("progress"):
+                        # Liveness/progress only: the task stays busy and
+                        # keeps its original deadline.
+                        if on_progress is not None:
+                            on_progress(task, reply)
+                        continue
+                    busy.pop(conn)
                     if reply.get("ok"):
                         finish(task, reply)
                     else:

@@ -113,11 +113,17 @@ class Histogram:
         return self.sum / self.total if self.total else 0.0
 
     def percentile(self, p: float) -> float:
-        """Interpolated p-th percentile (p in [0, 100])."""
+        """Interpolated p-th percentile (p in [0, 100]).
+
+        An empty histogram has no percentiles: returns NaN rather than
+        raising, so periodic samplers and report generators can query
+        idle windows without guarding every call. Out-of-range ``p`` is
+        still a caller bug and raises.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if self.total == 0:
-            raise ValueError(f"histogram {self.name!r} has no observations")
+            return float("nan")
         rank = p / 100 * self.total
         cumulative = 0
         for i, count in enumerate(self.counts):
@@ -198,11 +204,17 @@ class MetricsRegistry:
         Used by the execution engine to combine per-worker registries:
         counters add, histograms add bucket-wise, gauges take the
         incoming value (last write wins) and the max of the two highs.
-        Metric kinds are inferred from the snapshot shape; merging in
-        point order makes the combined registry match what one serial
-        registry would have recorded (up to gauge instantaneous values).
-        JSON round-trips turn histogram bucket bounds into strings;
-        they are coerced back to ints here.
+
+        Gauge semantics are **pinned, not incidental**: the engine merges
+        snapshots in *plan order* (the deterministic point order emitted
+        by the experiment plan), never in completion order, so the gauge
+        value that survives is always the last plan point's — regardless
+        of ``--jobs`` or which worker finished first. That is what makes
+        merged ``--metrics`` output byte-identical across job counts,
+        and it matches what one serial registry would have recorded (up
+        to gauge instantaneous values). Metric kinds are inferred from
+        the snapshot shape. JSON round-trips turn histogram bucket
+        bounds into strings; they are coerced back to ints here.
         """
         for name, data in snapshot.items():
             if isinstance(data, (int, float)) and not isinstance(data, bool):

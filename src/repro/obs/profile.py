@@ -244,7 +244,9 @@ def run_self_profile() -> tuple[Tracer, LayerBreakdown]:
 #: Code-layer buckets for ``profile --self --by-layer``, matched against
 #: source paths in declaration order (first hit wins). "core-pipeline"
 #: is the shared device layer (:mod:`repro.device`); the model buckets
-#: are what remains specific to each device.
+#: are what remains specific to each device; "faults", "workload" and
+#: "exec-engine" attribute the newer subsystems instead of lumping them
+#: into "other-repro".
 CODE_LAYERS = (
     ("core-pipeline", "/repro/device/"),
     ("zns-model", "/repro/zns/"),
@@ -253,6 +255,9 @@ CODE_LAYERS = (
     ("sim-engine", "/repro/sim/"),
     ("host-side", "/repro/hostif/"),
     ("observability", "/repro/obs/"),
+    ("faults", "/repro/faults/"),
+    ("workload", "/repro/workload/"),
+    ("exec-engine", "/repro/exec/"),
 )
 
 

@@ -1,0 +1,447 @@
+"""Run directories and the ``repro report`` HTML dashboard.
+
+``repro run --telemetry`` persists each invocation as a *run
+directory* — three JSON artifacts with distinct determinism contracts:
+
+* ``run.json`` — the manifest: what was asked for and what the engine
+  did. Carries wall-clock figures, so it is **not** byte-stable across
+  invocations.
+* ``results.json`` — the experiment tables (columns + rows + notes),
+  exactly the data behind the ASCII tables ``repro run`` prints.
+* ``telemetry.json`` — the merged windowed timeseries from
+  :mod:`repro.obs.telemetry`, written in canonical form (sorted keys,
+  no whitespace). This file is the determinism witness: the same run
+  at any ``--jobs`` must produce a byte-identical ``telemetry.json``.
+
+``repro report <run_dir>`` folds the three into one self-contained
+HTML page: no external scripts, stylesheets, fonts, or images — tables
+plus inline SVG sparklines, styled with CSS custom properties that
+carry a light and a dark theme (``prefers-color-scheme`` plus a
+``data-theme`` override). Colors follow the metric family, not the
+column: throughput counts are blue, latency percentiles orange, fault
+activity red, occupancy/census aqua, GC violet. Sparkline tiles are
+single-series, so they carry no legend; the column name and a
+min/mean/max/last readout in ink (never series color) identify them.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+from typing import Any, Optional
+
+__all__ = ["RUN_SCHEMA", "write_run", "load_run", "render_html"]
+
+#: Bump when the run-directory layout changes.
+RUN_SCHEMA = 1
+
+_RUN_FILE = "run.json"
+_RESULTS_FILE = "results.json"
+_TELEMETRY_FILE = "telemetry.json"
+
+
+# --------------------------------------------------------------------- writing
+def write_run(run_dir: str, results: dict[str, Any], report: Any,
+              manifest: Optional[dict[str, Any]] = None) -> list[str]:
+    """Persist a run directory; returns the paths written.
+
+    ``results`` maps experiment id to
+    :class:`~repro.core.results.ExperimentResult`; ``report`` is the
+    engine's :class:`~repro.exec.engine.ExecutionReport`. ``manifest``
+    carries caller context (ids, seed, fault plan, interval) and may
+    include wall-clock values — only ``telemetry.json`` promises
+    byte-stability, and it is encoded canonically to make the promise
+    checkable with a plain file compare.
+    """
+    os.makedirs(run_dir, exist_ok=True)
+    written = []
+
+    doc = {"schema": RUN_SCHEMA}
+    doc.update(manifest or {})
+    doc["exec"] = {
+        "jobs": report.jobs,
+        "points": len(report.points),
+        "executed": report.executed,
+        "cache_hits": report.cache_hits,
+        "failed": report.failed,
+        "wall_s": round(report.wall_s, 3),
+        "events": report.events,
+    }
+    path = os.path.join(run_dir, _RUN_FILE)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    written.append(path)
+
+    tables = {
+        exp_id: {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "columns": result.columns,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+        for exp_id, result in results.items()
+    }
+    path = os.path.join(run_dir, _RESULTS_FILE)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(tables, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    written.append(path)
+
+    telemetry = getattr(report, "telemetry", None)
+    if telemetry:
+        doc = {"schema": RUN_SCHEMA, "experiments": telemetry}
+        path = os.path.join(run_dir, _TELEMETRY_FILE)
+        with open(path, "w", encoding="utf-8") as fh:
+            # Canonical encoding: this file is compared byte-for-byte
+            # across --jobs counts by tests and CI.
+            fh.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+            fh.write("\n")
+        written.append(path)
+    return written
+
+
+def load_run(run_dir: str) -> dict[str, Any]:
+    """Read a run directory back; telemetry is optional."""
+    def read(name: str, required: bool):
+        path = os.path.join(run_dir, name)
+        if not os.path.exists(path):
+            if required:
+                raise FileNotFoundError(
+                    f"{run_dir!r} is not a run directory: missing {name}"
+                )
+            return {}
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    manifest = read(_RUN_FILE, required=True)
+    if manifest.get("schema") != RUN_SCHEMA:
+        raise ValueError(
+            f"{run_dir}/{_RUN_FILE} has schema {manifest.get('schema')!r}, "
+            f"expected {RUN_SCHEMA}"
+        )
+    return {
+        "name": os.path.basename(os.path.abspath(run_dir)),
+        "manifest": manifest,
+        "results": read(_RESULTS_FILE, required=True),
+        "telemetry": read(_TELEMETRY_FILE, required=False).get(
+            "experiments", {}
+        ),
+    }
+
+
+# ------------------------------------------------------------------ rendering
+#: Sparkline tile cap per telemetry segment; the rest are counted in a
+#: footnote rather than silently dropped.
+_MAX_TILES = 18
+
+_SPARK_W = 150
+_SPARK_H = 36
+
+
+def _family_of(name: str) -> Optional[str]:
+    """Metric family → color class; None means "do not chart"."""
+    if name.startswith("faults."):
+        return "fault"
+    if name.startswith("gc."):
+        return "gc"
+    if name.endswith((".p50", ".p95", ".p99")):
+        return "lat"
+    if (name.startswith(("zones.", "wbuf.", "ftl."))
+            or name in ("ctrl.queue", "fw.debt_ns")):
+        return "occ"
+    if name.endswith(".count") or name.endswith(".busy_frac"):
+        return "thru"
+    return "thru" if name.startswith("host.") else None
+
+
+#: Render priority within a segment (latency and throughput first — the
+#: paper's headline axes — then faults, GC, occupancy).
+_FAMILY_ORDER = {"lat": 0, "thru": 1, "fault": 2, "gc": 3, "occ": 4}
+
+
+def _select_columns(columns: dict[str, list]) -> tuple[list, int]:
+    """Pick and order the sparkline-worthy columns.
+
+    p50/p99 are dropped when a p95 exists for the same histogram (the
+    table in ``results.json`` has the full distribution); per-die busy
+    fractions collapse into one mean-across-dies series. Returns
+    ``(tiles, skipped)`` where each tile is ``(label, family, values)``.
+    """
+    die_cols = sorted(
+        name for name in columns
+        if name.startswith("nand.die") and name.endswith(".busy_frac")
+    )
+    p95_bases = {name[:-4] for name in columns if name.endswith(".p95")}
+    picked = []
+    for name, values in columns.items():
+        if name in die_cols:
+            continue
+        if name.endswith((".p50", ".p99")) and name[:-4] in p95_bases:
+            continue
+        family = _family_of(name)
+        if family is not None:
+            picked.append((name, family, values))
+    if die_cols:
+        rows = len(columns[die_cols[0]])
+        mean = [
+            round(sum(columns[c][i] or 0.0 for c in die_cols) / len(die_cols), 6)
+            for i in range(rows)
+        ]
+        picked.append(("nand.busy_frac (die mean)", "thru", mean))
+    picked.sort(key=lambda t: (_FAMILY_ORDER[t[1]], t[0]))
+    return picked[:_MAX_TILES], max(0, len(picked) - _MAX_TILES)
+
+
+def _fmt(value: Any) -> str:
+    """Compact numeric label for tile readouts."""
+    if value is None:
+        return "—"
+    if isinstance(value, float) and not value.is_integer():
+        if abs(value) < 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:,.1f}"
+    value = int(value)
+    if abs(value) >= 10_000_000:
+        return f"{value / 1e6:,.0f}M"
+    if abs(value) >= 100_000:
+        return f"{value / 1e3:,.0f}k"
+    return f"{value:,}"
+
+
+def _sparkline(values: list, windows: list[int], family: str) -> str:
+    """Inline SVG sparkline; ``None`` gaps break the line."""
+    pts = [(w, v) for w, v in zip(windows, values) if v is not None]
+    if not pts:
+        return ""
+    x_lo, x_hi = windows[0], windows[-1]
+    x_span = (x_hi - x_lo) or 1
+    y_vals = [v for _, v in pts]
+    y_lo, y_hi = min(y_vals), max(y_vals)
+    y_span = (y_hi - y_lo) or 1
+    pad = 2
+
+    def xy(w, v):
+        x = pad + (w - x_lo) / x_span * (_SPARK_W - 2 * pad)
+        y = (_SPARK_H - pad) - (v - y_lo) / y_span * (_SPARK_H - 2 * pad)
+        return f"{x:.1f},{y:.1f}"
+
+    # Break the polyline wherever a window produced no sample.
+    runs, run = [], []
+    by_window = dict(pts)
+    for w in windows:
+        if w in by_window and by_window[w] is not None:
+            run.append((w, by_window[w]))
+        elif run:
+            runs.append(run)
+            run = []
+    if run:
+        runs.append(run)
+    parts = []
+    for run in runs:
+        coords = " ".join(xy(w, v) for w, v in run)
+        if len(run) == 1:
+            x, y = coords.split(",")
+            parts.append(
+                f'<circle cx="{x}" cy="{y}" r="2" class="s-{family}f"/>'
+            )
+        else:
+            parts.append(
+                f'<polyline points="{coords}" class="s-{family}" '
+                f'fill="none" stroke-width="2" stroke-linejoin="round" '
+                f'stroke-linecap="round"/>'
+            )
+    mean = sum(y_vals) / len(y_vals)
+    title = (f"min {_fmt(y_lo)} · mean {_fmt(round(mean, 3))} · "
+             f"max {_fmt(y_hi)} · last {_fmt(y_vals[-1])}")
+    return (
+        f'<svg viewBox="0 0 {_SPARK_W} {_SPARK_H}" width="{_SPARK_W}" '
+        f'height="{_SPARK_H}" role="img"><title>{html.escape(title)}</title>'
+        f'{"".join(parts)}</svg>'
+    )
+
+
+def _tile(name: str, family: str, values: list, windows: list[int]) -> str:
+    numeric = [v for v in values if v is not None]
+    if not numeric:
+        return ""
+    stats = (f"min {_fmt(min(numeric))} · max {_fmt(max(numeric))} · "
+             f"last {_fmt(numeric[-1])}")
+    return (
+        '<div class="tile">'
+        f'<div class="tile-name">{html.escape(name)}</div>'
+        f'{_sparkline(values, windows, family)}'
+        f'<div class="tile-stats">{stats}</div>'
+        "</div>"
+    )
+
+
+def _segment_html(segment: dict[str, Any]) -> str:
+    windows = segment["windows"]
+    if not windows:
+        return ""
+    tiles, skipped = _select_columns(segment["columns"])
+    span_ms = segment["end_ns"] / 1e6
+    interval_us = segment["interval_ns"] / 1e3
+    head = (
+        f'<div class="seg-head"><span class="seg-point">'
+        f'{html.escape(str(segment.get("point", "")))}</span>'
+        f' <span class="seg-dev">{html.escape(segment["device"])}'
+        f' · {segment["rows"]} windows × {interval_us:g} µs'
+        f' · {span_ms:.2f} ms simulated</span></div>'
+    )
+    body = "".join(
+        _tile(name, family, values, windows)
+        for name, family, values in tiles
+    )
+    note = (f'<div class="seg-note">{skipped} more columns in '
+            f"telemetry.json</div>" if skipped else "")
+    return f'<div class="segment">{head}<div class="tiles">{body}</div>{note}</div>'
+
+
+def _table_html(table: dict[str, Any]) -> str:
+    columns = table["columns"]
+    head = "".join(f"<th>{html.escape(str(c))}</th>" for c in columns)
+    rows = []
+    for row in table["rows"]:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                value = f"{value:g}"
+            klass = "" if isinstance(value, str) else ' class="num"'
+            cells.append(f"<td{klass}>{html.escape(str(value))}</td>")
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    notes = "".join(
+        f'<div class="note">{html.escape(note)}</div>'
+        for note in table.get("notes", [])
+    )
+    return (
+        f'<table><thead><tr>{head}</tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>{notes}'
+    )
+
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --card: #ffffff;
+  --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9;
+  --thru: #2a78d6; --lat: #eb6834; --fault: #e34948;
+  --occ: #1baf7a; --gc: #4a3aa7;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --card: #222221;
+    --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a;
+    --thru: #3987e5; --lat: #d95926; --fault: #e66767;
+    --occ: #199e70; --gc: #9085e9;
+  }
+}
+[data-theme="light"] {
+  --surface: #fcfcfb; --card: #ffffff;
+  --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9;
+  --thru: #2a78d6; --lat: #eb6834; --fault: #e34948;
+  --occ: #1baf7a; --gc: #4a3aa7;
+}
+[data-theme="dark"] {
+  --surface: #1a1a19; --card: #222221;
+  --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+  --grid: #2c2c2a;
+  --thru: #3987e5; --lat: #d95926; --fault: #e66767;
+  --occ: #199e70; --gc: #9085e9;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--surface); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 8px; }
+.meta { color: var(--ink-2); margin-bottom: 16px; }
+.meta b { color: var(--ink); font-weight: 600; }
+table { border-collapse: collapse; margin: 8px 0; }
+th, td { padding: 4px 10px; border-bottom: 1px solid var(--grid); }
+th { text-align: left; color: var(--ink-2); font-weight: 600; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.note { color: var(--ink-3); font-size: 12px; margin: 2px 0; }
+.segment { margin: 12px 0 18px; }
+.seg-head { margin-bottom: 6px; }
+.seg-point { font-weight: 600; }
+.seg-dev { color: var(--ink-2); font-size: 12px; }
+.seg-note { color: var(--ink-3); font-size: 12px; margin-top: 4px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile {
+  background: var(--card); border: 1px solid var(--grid);
+  border-radius: 6px; padding: 8px 10px; width: 178px;
+}
+.tile-name { color: var(--ink-2); font-size: 11px; margin-bottom: 2px;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.tile-stats { color: var(--ink-3); font-size: 11px; margin-top: 2px;
+  font-variant-numeric: tabular-nums; }
+.s-thru { stroke: var(--thru); } .s-thruf { fill: var(--thru); }
+.s-lat { stroke: var(--lat); }   .s-latf { fill: var(--lat); }
+.s-fault { stroke: var(--fault); } .s-faultf { fill: var(--fault); }
+.s-occ { stroke: var(--occ); }   .s-occf { fill: var(--occ); }
+.s-gc { stroke: var(--gc); }     .s-gcf { fill: var(--gc); }
+footer { margin-top: 28px; color: var(--ink-3); font-size: 12px; }
+"""
+
+
+def render_html(run: dict[str, Any]) -> str:
+    """One self-contained HTML page for a loaded run directory."""
+    manifest = run["manifest"]
+    results = run["results"]
+    telemetry = run["telemetry"]
+    exec_info = manifest.get("exec", {})
+
+    bits = []
+    for label, key in (("experiments", "ids"), ("seed", "seed"),
+                       ("faults", "faults"), ("interval", "interval_us")):
+        value = manifest.get(key)
+        if value not in (None, [], ""):
+            if isinstance(value, list):
+                value = ", ".join(str(v) for v in value)
+            if key == "interval_us":
+                value = f"{value:g} µs"
+            bits.append(f"<b>{html.escape(label)}</b> {html.escape(str(value))}")
+    if exec_info:
+        bits.append(
+            f"<b>points</b> {exec_info.get('points', '?')} "
+            f"({exec_info.get('cache_hits', 0)} cached, "
+            f"jobs={exec_info.get('jobs', '?')}, "
+            f"{exec_info.get('wall_s', 0.0):g}s wall)"
+        )
+    created = manifest.get("created")
+    if created:
+        bits.append(f"<b>created</b> {html.escape(str(created))}")
+
+    sections = []
+    for exp_id in sorted(set(results) | set(telemetry)):
+        table = results.get(exp_id)
+        title = table["title"] if table else exp_id
+        parts = [f"<h2>{html.escape(exp_id)} — {html.escape(title)}</h2>"]
+        if table:
+            parts.append(_table_html(table))
+        for segment in telemetry.get(exp_id, []):
+            parts.append(_segment_html(segment))
+        sections.append("".join(parts))
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>repro run — {html.escape(run.get('name', 'report'))}</title>\n"
+        f"<style>{_CSS}</style></head>\n<body>\n"
+        f"<h1>repro run report — {html.escape(run.get('name', ''))}</h1>\n"
+        f'<div class="meta">{" · ".join(bits)}</div>\n'
+        + "\n".join(sections)
+        + "\n<footer>Self-contained report: tables from results.json, "
+          "sparklines from telemetry.json windowed deltas. Colors follow "
+          "the metric family — throughput/utilization blue, latency "
+          "orange, faults red, occupancy aqua, GC violet.</footer>\n"
+        "</body></html>\n"
+    )

@@ -1,0 +1,250 @@
+"""Time-resolved telemetry: windowed metric timeseries per sweep point.
+
+The aggregate :class:`~repro.obs.metrics.MetricsRegistry` answers "what
+happened over the whole run"; this module answers "when". A
+:class:`TelemetrySampler` rides the simulator's tick hook
+(:meth:`repro.sim.engine.Simulator.add_tick_hook`) and, every
+``interval_ns`` of *simulated* time, snapshots the device's registry plus
+a few model internals the registry does not carry (per-zone-state census,
+FTL free space, GC occupancy, per-die busy time). Each sample is a
+*windowed delta*: counters report the increase since the previous row,
+latency histograms report the count and interpolated p50/p95/p99 of only
+the observations that landed in the window, gauges report their
+instantaneous level, and per-die busy nanoseconds become a busy
+*fraction* of the window. The result is a compact columnar segment —
+parallel arrays keyed by metric name — cheap to JSON-encode and merge.
+
+Determinism contract (the whole point of the design):
+
+* the sampler installs **zero simulation events** — it observes clock
+  advances from inside the dispatch loop and never touches the RNG, the
+  heap, or the ready deque, so enabling telemetry cannot perturb the
+  simulated execution;
+* window boundaries are pure integer arithmetic on the simulated clock,
+  so the same point produces bit-identical segments in any worker
+  process at any ``--jobs``;
+* empty windows produce **no row** — a row's deltas cover the whole
+  span since the previous row (``spans`` records how many intervals
+  that is), which keeps idle stretches free instead of materializing
+  runs of zeros.
+
+``TelemetryCollector`` is the per-point aggregation handle: experiment
+code puts one on the :class:`~repro.core.experiments.common
+.ExperimentConfig`, every device built for the point attaches a sampler
+(in construction order, which is deterministic), and the execution
+engine drains the collector into the point's reply/cache entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["TelemetryCollector", "TelemetrySampler", "DEFAULT_INTERVAL_US"]
+
+#: Default sampling interval (simulated microseconds) for ``--telemetry``.
+DEFAULT_INTERVAL_US = 100.0
+
+#: Percentiles computed per latency histogram per window.
+_PERCENTILES = (50, 95, 99)
+
+
+def _delta_percentile(bounds: tuple[int, ...], dcounts: list[int],
+                      dtotal: int, p: float) -> float:
+    """Interpolated percentile of a *delta* histogram (mirror of
+    :meth:`Histogram.percentile` over windowed bucket counts)."""
+    rank = p / 100 * dtotal
+    cumulative = 0
+    last = len(bounds)
+    for i, count in enumerate(dcounts):
+        if count > 0 and cumulative + count >= rank:
+            lower = 0 if i == 0 else bounds[i - 1]
+            if i == last:
+                return float(lower)  # overflow bucket: clamp to last bound
+            upper = bounds[i]
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        cumulative += count
+    return float(bounds[-1])
+
+
+class TelemetrySampler:
+    """Windowed columnar sampler for one device.
+
+    Attached by :meth:`TelemetryCollector.attach` from the device
+    constructor; never instantiate directly. All state is plain Python —
+    the per-advance cost while armed is a single integer comparison
+    (:meth:`_on_advance`), and the per-window cost is one pass over the
+    device's registry.
+    """
+
+    __slots__ = (
+        "interval_ns", "device", "ordinal",
+        "_closed", "_next", "_rows", "_windows", "_spans", "_cols",
+        "_prev_counters", "_prev_hists", "_prev_cumulative", "_finalized",
+    )
+
+    def __init__(self, interval_ns: int, device: Any, ordinal: int):
+        self.interval_ns = interval_ns
+        self.device = device
+        self.ordinal = ordinal
+        self._closed = 0          # completed windows already sampled
+        self._next = interval_ns  # sim time at which the next row closes
+        self._rows = 0
+        self._windows: list[int] = []
+        self._spans: list[int] = []
+        self._cols: dict[str, list] = {}
+        self._prev_counters: dict[str, int] = {}
+        self._prev_hists: dict[str, tuple[list[int], int]] = {}
+        self._prev_cumulative: dict[str, int] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------- sampling
+    def _on_advance(self, now: int) -> None:
+        """Tick hook: close every window the clock has fully passed.
+
+        Runs inside the dispatch loop — must stay passive (no events,
+        no RNG; see :meth:`Simulator.add_tick_hook`).
+        """
+        if now < self._next:
+            return
+        completed = now // self.interval_ns
+        self._sample(completed, completed * self.interval_ns)
+        self._next = (completed + 1) * self.interval_ns
+
+    def _sample(self, completed: int, end_ns: int) -> None:
+        """Emit one row covering ``(last row .. completed]`` windows."""
+        span = completed - self._closed
+        elapsed = end_ns - self._closed * self.interval_ns
+        if elapsed <= 0:
+            elapsed = self.interval_ns
+        cols = self._cols
+        nrows = self._rows
+
+        def put(name: str, value, pad=0) -> None:
+            col = cols.get(name)
+            if col is None:
+                col = [pad] * nrows
+                cols[name] = col
+            col.append(value)
+
+        device = self.device
+        prev_counters = self._prev_counters
+        prev_hists = self._prev_hists
+        for metric in device.metrics:
+            name = metric.name
+            cls = type(metric)
+            if cls is Counter:
+                value = metric.value
+                put(name, value - prev_counters.get(name, 0))
+                prev_counters[name] = value
+            elif cls is Gauge:
+                # Per-die busy gauges mirror the backend's cumulative
+                # counters; the fraction columns below cover them.
+                if not name.startswith("nand.die"):
+                    put(name, metric.value)
+            elif cls is Histogram:
+                counts = metric.counts
+                total = metric.total
+                prev = prev_hists.get(name)
+                if prev is None:
+                    dcounts = list(counts)
+                    dtotal = total
+                else:
+                    pcounts, ptotal = prev
+                    dtotal = total - ptotal
+                    dcounts = (
+                        [c - p for c, p in zip(counts, pcounts)]
+                        if dtotal else None
+                    )
+                put(f"{name}.count", dtotal)
+                for p in _PERCENTILES:
+                    put(
+                        f"{name}.p{p}",
+                        round(_delta_percentile(metric.bounds, dcounts,
+                                                dtotal, p), 1)
+                        if dtotal else None,
+                        pad=None,
+                    )
+                prev_hists[name] = (list(counts), total)
+        for name, value in device._telemetry_levels().items():
+            put(name, value)
+        prev_cumulative = self._prev_cumulative
+        for name, value in device._telemetry_cumulative().items():
+            delta = value - prev_cumulative.get(name, 0)
+            prev_cumulative[name] = value
+            if name.endswith(".busy_ns"):
+                put(name[: -len(".busy_ns")] + ".busy_frac",
+                    round(delta / elapsed, 6))
+            else:
+                put(name, delta)
+        # Columns that appeared in earlier rows but not this pass cannot
+        # happen: registries only grow and the hooks return stable key
+        # sets per device — but guard anyway so a drained column never
+        # desynchronizes row counts.
+        self._rows += 1
+        for col in cols.values():
+            if len(col) < self._rows:
+                col.append(None)
+        self._windows.append(completed)
+        self._spans.append(span)
+        self._closed = completed
+
+    # ------------------------------------------------------------- finalize
+    def segment(self) -> dict[str, Any]:
+        """Close the partial final window and return the columnar segment.
+
+        The final row always exists (it carries the end-of-run census
+        and any activity after the last boundary); all-zero columns are
+        dropped — absence means "never moved".
+        """
+        if not self._finalized:
+            self._finalized = True
+            now = int(self.device.sim.now)
+            self._sample(self._closed + 1, now)
+        columns = {}
+        for name in sorted(self._cols):
+            col = self._cols[name]
+            if any(v is not None and v != 0 for v in col):
+                columns[name] = col
+        return {
+            "device": f"{self.device.kind}:{self.device.profile.name}",
+            "ordinal": self.ordinal,
+            "interval_ns": self.interval_ns,
+            "rows": self._rows,
+            "end_ns": int(self.device.sim.now),
+            "windows": self._windows,
+            "spans": self._spans,
+            "columns": columns,
+        }
+
+
+class TelemetryCollector:
+    """Per-sweep-point handle tying device samplers to the exec engine.
+
+    One collector per point; each device built while it is on the config
+    calls :meth:`attach` (from ``DeviceCore.__init__``) and gets its own
+    sampler wired to that device's simulator. :meth:`drain` returns the
+    finalized segments in attach order — deterministic because device
+    construction order within a point is.
+    """
+
+    __slots__ = ("interval_ns", "_samplers")
+
+    def __init__(self, interval_ns: int):
+        interval_ns = int(interval_ns)
+        if interval_ns <= 0:
+            raise ValueError(f"telemetry interval must be > 0 ns, got {interval_ns}")
+        self.interval_ns = interval_ns
+        self._samplers: list[TelemetrySampler] = []
+
+    def attach(self, device: Any) -> TelemetrySampler:
+        sampler = TelemetrySampler(self.interval_ns, device,
+                                   ordinal=len(self._samplers))
+        self._samplers.append(sampler)
+        device.sim.add_tick_hook(sampler._on_advance)
+        return sampler
+
+    def drain(self) -> list[dict[str, Any]]:
+        return [sampler.segment() for sampler in self._samplers]

@@ -412,6 +412,7 @@ class Simulator:
         "_timeout_pool",
         "_event_pool",
         "_events",
+        "_tick",
     )
 
     def __init__(self):
@@ -425,6 +426,29 @@ class Simulator:
         self._timeout_pool: list[Timeout] = []
         self._event_pool: list[Event] = []
         self._events = 0
+        self._tick: Optional[Callable[[int], None]] = None
+
+    def add_tick_hook(self, hook: Callable[[int], None]) -> None:
+        """Invoke ``hook(now)`` whenever the simulated clock advances.
+
+        The hook fires once per *time advance* (per same-timestamp batch),
+        not per event, immediately after ``self.now`` moves — including the
+        final clamp to a ``run(until=time)`` deadline. It runs inside the
+        dispatch loop, so it must be passive: it may read simulation and
+        model state but must not create, trigger, or cancel events (the
+        telemetry sampler is the intended client — observation without a
+        footprint in the event order keeps runs byte-identical whether or
+        not a hook is installed). Multiple hooks compose in registration
+        order.
+        """
+        previous = self._tick
+        if previous is None:
+            self._tick = hook
+        else:
+            def chained(now: int, _first=previous, _second=hook) -> None:
+                _first(now)
+                _second(now)
+            self._tick = chained
 
     @property
     def events_processed(self) -> int:
@@ -539,6 +563,8 @@ class Simulator:
             event = ready.popleft()
         elif heap:
             self.now = heap[0][0]
+            if self._tick is not None:
+                self._tick(self.now)
             event = heappop(heap)[2]
         else:
             raise SimulationError("no scheduled events")
@@ -624,6 +650,8 @@ class Simulator:
                         f"simulation ran out of events before {stop!r} fired"
                     )
                 self.now = heap[0][0]
+                if self._tick is not None:
+                    self._tick(self.now)
             return stop.value
         finally:
             self._events += dispatched
@@ -691,11 +719,17 @@ class Simulator:
                 when = heap[0][0]
                 if deadline is not None and when > deadline:
                     self.now = deadline
+                    if self._tick is not None:
+                        self._tick(deadline)
                     return None
                 self.now = when
+                if self._tick is not None:
+                    self._tick(when)
         finally:
             self._events += dispatched
             _EVENTS_TOTAL += dispatched
         if deadline is not None and deadline > self.now:
             self.now = deadline
+            if self._tick is not None:
+                self._tick(deadline)
         return None

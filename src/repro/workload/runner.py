@@ -112,6 +112,15 @@ class JobRunner:
             self._ops_counter = None
             self._bytes_counter = None
             self._latency_hist = None
+        # Host-managed-GC visibility on telemetry timelines: zone resets
+        # issued by this job, windowed by the sampler. Registered only
+        # when a sampler is attached — adding it to plain ``--metrics``
+        # runs would change their (pinned, pre-telemetry) table output.
+        self._reset_counter = (
+            metrics.counter(f"{prefix}.resets")
+            if metrics is not None and getattr(device, "telemetry", None) is not None
+            else None
+        )
         # Host-side resilience policy (DESIGN.md §12): armed only when the
         # device runs with fault injection, so fault-free runs keep the
         # exact event sequence (and RNG draws) of the plain submit loop.
@@ -277,6 +286,8 @@ class JobRunner:
             completion = yield self.device.submit(command)
             if completion.ok:
                 self.result.resets += 1
+                if self._reset_counter is not None:
+                    self._reset_counter.inc()
                 if self.sim.now >= self._ramp_end_ns:
                     self.result.reset_latency.record(completion.latency_ns)
                 # Only a *successful* reset rewinds the write pointer;

@@ -1,0 +1,272 @@
+"""Tests for time-resolved telemetry, run directories, and ``repro report``.
+
+The guarantees under test:
+
+* the sampler's windowed deltas are exact — counter columns sum back to
+  the registry totals, window indices and spans agree,
+* enabling telemetry does not perturb the simulation: result tables are
+  identical with it on or off,
+* the merged timeseries is byte-identical at any ``--jobs`` (including
+  under fault injection) and survives a cache round trip,
+* the pinned aggregation semantics (plan-order gauge merge, NaN from an
+  empty histogram percentile) hold,
+* the run directory round-trips and the HTML dashboard renders exactly
+  the committed golden page.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import types
+
+import pytest
+
+from repro.core.experiments.common import ExperimentConfig
+from repro.core.results import ExperimentResult
+from repro.exec import execute_experiments
+from repro.hostif.commands import Command, Opcode, ZoneAction
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.report import RUN_SCHEMA, load_run, render_html, write_run
+from repro.obs.telemetry import TelemetryCollector
+from repro.sim.engine import Simulator, ms, us
+from repro.zns.device import ZnsDevice
+from repro.zns.profiles import zn540_small
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "report_small.html")
+
+
+def tiny_config(**extra) -> ExperimentConfig:
+    return ExperimentConfig(point_runtime_ns=ms(2), ramp_ns=ms(0.4),
+                            num_zones=16, zones_per_level=3, **extra)
+
+
+def telemetry_blob(report) -> str:
+    return json.dumps(report.telemetry, sort_keys=True)
+
+
+def _run_smoke(interval_ns: int):
+    """Appends + reads + a reset on a small device under a sampler."""
+    collector = TelemetryCollector(interval_ns)
+    sim = Simulator()
+    device = ZnsDevice(sim, zn540_small(), telemetry=collector)
+    nlb = device.namespace.lbas(16 * 1024)
+    zone = device.zones.zones[0]
+    for _ in range(48):
+        sim.run(until=device.submit(
+            Command(Opcode.APPEND, slba=zone.zslba, nlb=nlb)))
+    for i in range(16):
+        sim.run(until=device.submit(
+            Command(Opcode.READ, slba=zone.zslba + i * nlb, nlb=nlb)))
+    sim.run(until=device.submit(
+        Command(Opcode.ZONE_MGMT, slba=zone.zslba, action=ZoneAction.RESET)))
+    return collector, device
+
+
+class TestSampler:
+    def test_window_and_span_arithmetic(self):
+        collector, device = _run_smoke(us(5))
+        [segment] = collector.drain()
+        assert segment["rows"] >= 2
+        assert len(segment["windows"]) == segment["rows"]
+        assert len(segment["spans"]) == segment["rows"]
+        previous = 0
+        for window, span in zip(segment["windows"], segment["spans"]):
+            assert window > previous
+            assert span == window - previous
+            previous = window
+        for name, column in segment["columns"].items():
+            assert len(column) == segment["rows"], name
+
+    def test_counter_deltas_sum_to_registry_totals(self):
+        collector, device = _run_smoke(us(5))
+        [segment] = collector.drain()
+        registry = {metric.name: metric for metric in device.metrics}
+        checked = 0
+        for name, column in segment["columns"].items():
+            metric = registry.get(name)
+            if metric is not None and type(metric) is Counter:
+                assert sum(v or 0 for v in column) == metric.value, name
+                checked += 1
+        assert checked >= 3  # host ops, nand ops, ...
+
+    def test_zone_census_present_and_conserved(self):
+        collector, device = _run_smoke(us(5))
+        [segment] = collector.drain()
+        census = {name: column for name, column in segment["columns"].items()
+                  if name.startswith("zones.")}
+        assert census, "zone-state census columns missing"
+        total_zones = len(device.zones.zones)
+        # Instantaneous census: states absent from a row are zero, so the
+        # sum of present states never exceeds the zone count.
+        for i in range(segment["rows"]):
+            assert sum(column[i] or 0 for column in census.values()) \
+                <= total_zones
+
+    def test_drain_is_idempotent_per_sampler(self):
+        collector, _device = _run_smoke(us(5))
+        first = collector.drain()
+        second = collector.drain()
+        assert first == second  # segment() finalizes exactly once
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            TelemetryCollector(0)
+
+
+class TestPinnedAggregation:
+    def test_empty_histogram_percentile_is_nan(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", bounds=(10, 100, 1000))
+        assert math.isnan(histogram.percentile(50))
+        histogram.observe(42)
+        assert histogram.percentile(50) == pytest.approx(55.0, rel=0.5)
+
+    def test_merge_snapshot_gauge_last_wins(self):
+        first = MetricsRegistry()
+        first.gauge("depth").set(7)
+        second = MetricsRegistry()
+        second.gauge("depth").set(3)
+        target = MetricsRegistry()
+        target.merge_snapshot(first.snapshot())
+        target.merge_snapshot(second.snapshot())
+        gauge = target.gauge("depth")
+        assert gauge.value == 3      # plan-order: last snapshot wins
+        assert gauge.max_value == 7  # highs still take the max
+
+
+class TestEngineIntegration:
+    def test_telemetry_does_not_perturb_results(self):
+        plain, _ = execute_experiments(
+            ["fig2a"], tiny_config(), jobs=1, cache_dir=None)
+        sampled, report = execute_experiments(
+            ["fig2a"], tiny_config(telemetry_interval_ns=us(100)),
+            jobs=1, cache_dir=None)
+        assert plain["fig2a"].table() == sampled["fig2a"].table()
+        segments = report.telemetry["fig2a"]
+        assert segments
+        assert all(s["experiment_id"] == "fig2a" for s in segments)
+
+    def test_disabled_report_carries_no_telemetry(self):
+        _, report = execute_experiments(
+            ["fig2a"], tiny_config(), jobs=1, cache_dir=None)
+        assert report.telemetry == {}
+
+    def test_jobs_invariant_under_faults(self):
+        config = tiny_config(telemetry_interval_ns=us(100), faults="chaos")
+        _, serial = execute_experiments(
+            ["fig2a"], config, jobs=1, cache_dir=None)
+        _, parallel = execute_experiments(
+            ["fig2a"], config, jobs=4, cache_dir=None)
+        assert telemetry_blob(serial) == telemetry_blob(parallel)
+        columns = {name for segment in serial.telemetry["fig2a"]
+                   for name in segment["columns"]}
+        assert any(name.startswith("faults.") for name in columns)
+
+    def test_cache_round_trip(self, tmp_path):
+        config = tiny_config(telemetry_interval_ns=us(100))
+        _, cold = execute_experiments(
+            ["fig2a"], config, jobs=1, cache_dir=str(tmp_path))
+        _, warm = execute_experiments(
+            ["fig2a"], config, jobs=1, cache_dir=str(tmp_path))
+        assert warm.cache_hits == len(warm.points)
+        assert telemetry_blob(cold) == telemetry_blob(warm)
+
+    def test_live_collector_on_config_is_rejected(self):
+        config = tiny_config(telemetry=TelemetryCollector(us(100)))
+        with pytest.raises(ValueError, match="telemetry_interval_ns"):
+            execute_experiments(["fig2a"], config, jobs=1, cache_dir=None)
+
+    def test_pool_emits_started_progress(self):
+        lines = []
+        execute_experiments(["fig2a"], tiny_config(), jobs=2,
+                            cache_dir=None, progress=lines.append)
+        assert any("started (pid" in line for line in lines)
+
+
+# ----------------------------------------------------------------- run dirs
+def _fake_report():
+    return types.SimpleNamespace(
+        jobs=2, points=[object(), object()], executed=2, cache_hits=0,
+        failed=0, wall_s=1.234, events=4321,
+        telemetry={
+            "figX": [{
+                "device": "zns:zn540-small", "ordinal": 0,
+                "interval_ns": 100_000, "rows": 4, "end_ns": 400_000,
+                "windows": [1, 2, 3, 4], "spans": [1, 1, 1, 1],
+                "columns": {
+                    "host.appends": [5, 6, 0, 2],
+                    "lat.append.p95": [12.5, 13.0, None, 11.0],
+                    "lat.append.count": [5, 6, 0, 2],
+                    "faults.injected": [0, 1, 0, 0],
+                    "gc.running": [0, 0, 1, 1],
+                    "wbuf.level_bytes": [4096, 8192, 0, 4096],
+                    "nand.die0.busy_frac": [0.5, 0.25, 0.0, 0.125],
+                    "nand.die1.busy_frac": [0.25, 0.75, 0.0, 0.375],
+                },
+                "experiment_id": "figX", "point": "qd=1",
+            }],
+        },
+    )
+
+
+def _fake_results():
+    result = ExperimentResult(
+        experiment_id="figX", title="Synthetic table",
+        columns=["stack", "kiops"],
+        notes=["synthetic fixture for the report golden test"],
+    )
+    result.add_row(stack="spdk", kiops=123.4)
+    result.add_row(stack="iouring", kiops=98.7)
+    return {"figX": result}
+
+
+def _golden_run(tmp_path) -> dict:
+    run_dir = os.path.join(str(tmp_path), "golden-run")
+    manifest = {
+        "ids": ["figX"], "seed": 24301, "fast": True, "scale": 1.0,
+        "faults": None, "interval_us": 100.0, "jobs": 2,
+        "created": "2026-01-01T00:00:00",
+    }
+    write_run(run_dir, _fake_results(), _fake_report(), manifest)
+    return load_run(run_dir)
+
+
+class TestRunDirectory:
+    def test_round_trip(self, tmp_path):
+        run = _golden_run(tmp_path)
+        assert run["manifest"]["schema"] == RUN_SCHEMA
+        assert run["manifest"]["exec"]["points"] == 2
+        assert run["results"]["figX"]["columns"] == ["stack", "kiops"]
+        assert run["telemetry"]["figX"][0]["rows"] == 4
+
+    def test_telemetry_json_is_canonical(self, tmp_path):
+        _golden_run(tmp_path)
+        path = os.path.join(str(tmp_path), "golden-run", "telemetry.json")
+        raw = open(path, encoding="utf-8").read()
+        doc = json.loads(raw)
+        assert raw == json.dumps(doc, sort_keys=True,
+                                 separators=(",", ":")) + "\n"
+
+    def test_load_rejects_non_run_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run(str(tmp_path))
+
+    def test_report_matches_golden(self, tmp_path):
+        page = render_html(_golden_run(tmp_path))
+        expected = open(GOLDEN, encoding="utf-8").read()
+        assert page == expected, (
+            "report HTML drifted from tests/golden/report_small.html; "
+            "regenerate it if the change is intentional (see that file's "
+            "sibling tests)"
+        )
+
+    def test_report_structure(self, tmp_path):
+        page = render_html(_golden_run(tmp_path))
+        assert page.count("<svg") >= 6          # one sparkline per family+
+        assert 'class="s-fault"' in page        # faults wear the red series
+        assert "die mean" in page               # per-die columns collapse
+        assert "lat.append.p50" not in page     # p95 supersedes p50 tiles
+        assert "src=" not in page and "href=" not in page  # self-contained
+        assert "prefers-color-scheme: dark" in page
