@@ -60,6 +60,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config = config.scaled(args.scale)
     if getattr(args, "faults", None):
         config = dataclasses.replace(config, faults=args.faults)
+    if getattr(args, "stack", None):
+        config = dataclasses.replace(config, stacks=tuple(args.stack))
     return config
 
 
@@ -103,6 +105,12 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--metrics", action="store_true",
                             help="print the metrics-registry table after "
                                  "the run")
+    run_parser.add_argument("--stack", metavar="NAME", action="append",
+                            default=None,
+                            help="restrict the stack-comparison sweeps "
+                                 "(fig2a/fig2b) to this stack; repeatable. "
+                                 "Choices: spdk, thrpool, iouring-none, "
+                                 "iouring-mq-deadline")
     run_parser.add_argument("--faults", metavar="SPEC", default=None,
                             help="inject faults: a preset name (see "
                                  "'faults list') or a JSON profile path; "
@@ -240,6 +248,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         config = _config_from_args(args)
+        if config.stacks is not None:
+            from .core.experiments.common import STACKS
+
+            unknown = [name for name in config.stacks if name not in STACKS]
+            if unknown:
+                run_parser.error(
+                    f"unknown stack(s) {', '.join(unknown)} "
+                    f"(choose from {', '.join(STACKS)})"
+                )
         if config.faults is not None:
             from .faults.plan import FaultPlanError, resolve
 

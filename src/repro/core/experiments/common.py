@@ -25,6 +25,7 @@ from ...sim.engine import Simulator, ms
 from ...sim.rng import StreamFactory
 from ...stacks.iouring import IoUringStack
 from ...stacks.spdk import SpdkStack
+from ...stacks.thrpool import ThreadPoolStack
 from ...workload.job import JobSpec
 from ...workload.runner import JobResult, JobRunner
 from ...zns.device import ZnsDevice
@@ -36,6 +37,7 @@ __all__ = [
     "build_device",
     "build_stack",
     "measure_job",
+    "sweep_stacks",
     "KIB",
     "MIB",
 ]
@@ -43,8 +45,24 @@ __all__ = [
 KIB = 1024
 MIB = 1024 * 1024
 
-#: Storage-stack configurations compared in §III (name → constructor).
-STACKS = ("spdk", "iouring-none", "iouring-mq-deadline")
+#: Storage-stack configurations compared in §III, in ascending order of
+#: host overhead. The paper measures SPDK and the two io_uring setups;
+#: "thrpool" is the xNVMe-style thread-pool async backend sitting
+#: between them (DESIGN.md §14.2).
+STACKS = ("spdk", "thrpool", "iouring-none", "iouring-mq-deadline")
+
+
+def sweep_stacks(config: "ExperimentConfig") -> tuple[str, ...]:
+    """The stacks a sweep should cover: ``config.stacks`` or all of them."""
+    if config.stacks is None:
+        return STACKS
+    chosen = tuple(config.stacks)
+    unknown = [name for name in chosen if name not in STACKS]
+    if unknown:
+        raise ValueError(
+            f"unknown stack(s) {unknown!r} (choose from {STACKS})"
+        )
+    return chosen
 
 
 @dataclass(frozen=True)
@@ -63,6 +81,12 @@ class ExperimentConfig:
     interference_runtime_ns: int = ms(1_800)
     #: Zones kept on the simulated ZNS device (latency-irrelevant).
     num_zones: int = 64
+    #: Restrict the stack-comparison sweeps (fig2a/fig2b) to a subset of
+    #: :data:`STACKS`, or ``None`` for all of them. Stored as the plain
+    #: name tuple so it participates in the cache key and ships to
+    #: workers (``repro run --stack``). Experiments pinned to a specific
+    #: stack (scalability, QD sweeps) ignore it.
+    stacks: Optional[tuple] = None
     #: Optional observability hooks threaded into every device the
     #: experiment builds. Excluded from repr/compare so configs stay
     #: hashable-by-value and byte-identical output is easy to verify.
@@ -130,9 +154,11 @@ def build_device(
 
 
 def build_stack(device, stack_name: str):
-    """Instantiate one of the paper's three stack configurations."""
+    """Instantiate one of the compared stack configurations."""
     if stack_name == "spdk":
         return SpdkStack(device)
+    if stack_name == "thrpool":
+        return ThreadPoolStack(device)
     if stack_name == "iouring-none":
         return IoUringStack(device, scheduler="none")
     if stack_name == "iouring-mq-deadline":

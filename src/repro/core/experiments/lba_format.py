@@ -15,13 +15,20 @@ from __future__ import annotations
 from ...hostif.namespace import LBA_4K, LBA_512, LbaFormat
 from ...workload.job import IoKind, JobSpec
 from ..results import ExperimentResult
-from .common import KIB, STACKS, ExperimentConfig, build_device, measure_job
+from .common import (
+    KIB,
+    ExperimentConfig,
+    build_device,
+    measure_job,
+    sweep_stacks,
+)
 from .points import ExperimentPlan, run_via_points
 
 __all__ = ["run_fig2a", "run_fig2b", "FIG2A_PLAN", "FIG2B_PLAN"]
 
-#: io_uring cannot issue appends (§III-A); appends are SPDK-only.
-_APPEND_STACKS = ("spdk",)
+#: io_uring cannot issue appends (§III-A); the thread-pool backend wraps
+#: the sync passthrough path and can, like SPDK.
+_APPEND_STACKS = ("spdk", "thrpool")
 
 #: JSON-able point params carry the LBA size in bytes.
 _FORMATS = {LBA_512.block_size: LBA_512, LBA_4K.block_size: LBA_4K}
@@ -55,7 +62,7 @@ def _combo_plan(config: ExperimentConfig) -> list:
     return [
         {"lba_bytes": lba_format.block_size, "stack": stack_name, "op": op}
         for lba_format in (LBA_512, LBA_4K)
-        for stack_name in STACKS
+        for stack_name in sweep_stacks(config)
         for op in (IoKind.WRITE, IoKind.APPEND)
         if not (op == IoKind.APPEND and stack_name not in _APPEND_STACKS)
     ]

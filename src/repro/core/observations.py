@@ -84,14 +84,18 @@ def check_obs1(fig2a: ExperimentResult) -> ObservationCheck:
 
 def check_obs2(fig2b: ExperimentResult) -> ObservationCheck:
     spdk = fig2b.value("latency_us", lba_format="4KiB", stack="spdk", op="write")
+    thrpool = fig2b.value(
+        "latency_us", lba_format="4KiB", stack="thrpool", op="write"
+    )
     none = fig2b.value("latency_us", lba_format="4KiB", stack="iouring-none", op="write")
     mqd = fig2b.value(
         "latency_us", lba_format="4KiB", stack="iouring-mq-deadline", op="write"
     )
-    passed = spdk < none < mqd
+    passed = spdk < thrpool < none < mqd
     return ObservationCheck(
         2, passed,
-        f"write latency: spdk {spdk:.2f} < none {none:.2f} < mq-deadline {mqd:.2f} µs",
+        f"write latency: spdk {spdk:.2f} < thrpool {thrpool:.2f} "
+        f"< none {none:.2f} < mq-deadline {mqd:.2f} µs",
     )
 
 

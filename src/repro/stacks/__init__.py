@@ -1,9 +1,10 @@
-"""Host storage stacks: SPDK-like and io_uring-like (with mq-deadline)."""
+"""Host storage stacks: SPDK-like, thread-pool async, io_uring-like."""
 
 from .base import StackStats, StorageStack, UnsupportedOperation
 from .iouring import IoUringStack
 from .scheduler import MqDeadlineScheduler
 from .spdk import SpdkStack
+from .thrpool import ThreadPoolStack
 
 __all__ = [
     "IoUringStack",
@@ -11,5 +12,6 @@ __all__ = [
     "SpdkStack",
     "StackStats",
     "StorageStack",
+    "ThreadPoolStack",
     "UnsupportedOperation",
 ]

@@ -11,15 +11,21 @@ Semantics follow the NVMe ZNS spec as the paper describes it:
   ``max_active``,
 * ``close`` on an open zone with an untouched write pointer returns it to
   EMPTY (nothing was written, so nothing stays active),
-* ``finish`` moves an open/closed zone to FULL, recording how much
-  capacity had to be padded (the pad size drives finish latency and the
-  later reset cost, §III-E),
-* ``finish`` on an EMPTY or FULL zone is rejected — the paper notes "the
-  standard does not permit us to issue a finish operation to a full or
-  empty zone",
+* ``finish`` moves any writable-lifecycle zone to FULL, recording how
+  much capacity had to be padded (the pad size drives finish latency and
+  the later reset cost, §III-E). Per the ZNS spec's Zone Finish
+  semantics this includes EMPTY→FULL (the whole writable capacity is
+  padded) and a FULL zone, where it is an idempotent no-op success —
+  the same idempotency ``open`` and ``close`` already have,
 * ``reset`` returns any writable-lifecycle zone to EMPTY (a reset of an
   already-EMPTY zone is a legal cheap no-op; Fig. 5a includes 0 %
-  occupancy).
+  occupancy),
+* opening a zone (implicitly by a write/append, or explicitly) while
+  ``max_open`` zones are open *implicitly closes* the lowest-indexed
+  implicitly-opened zone to free the slot (the controller-managed
+  transition ZSIO→ZSC from the spec's resource-management rules, as
+  Linux null_blk models it); only when every open slot is explicitly
+  held does the command fail with TOO_MANY_OPEN_ZONES.
 """
 
 from __future__ import annotations
@@ -152,15 +158,17 @@ class ZoneManager:
         Returns (status, implicitly_opened). On success the write pointer
         is advanced and the zone may become FULL.
         """
+        state = zone.state
+        if (state not in (ZoneState.FULL, ZoneState.READ_ONLY,
+                          ZoneState.OFFLINE)
+                and slba != zone.wp):
+            # Checked before admission (QEMU's zns_check_zone_write
+            # order): a misplaced write must not open the zone or evict
+            # an implicit-open victim.
+            return Status.ZONE_INVALID_WRITE, False
         status, opened = self._admit_common(zone, nlb)
         if not status.ok:
             return status, False
-        if slba != zone.wp:
-            # Restore: _admit_common may have opened the zone; a rejected
-            # write must not leave a side effect behind.
-            if opened:
-                self._enter(zone, ZoneState.EMPTY if zone.wp == zone.zslba else ZoneState.CLOSED)
-            return Status.ZONE_INVALID_WRITE, False
         self._advance(zone, nlb)
         return Status.SUCCESS, opened
 
@@ -207,9 +215,30 @@ class ZoneManager:
         needs_active = zone.state is ZoneState.EMPTY
         if needs_active and self._active_count >= self.max_active:
             return Status.TOO_MANY_ACTIVE_ZONES
-        if self._open_count >= self.max_open:
+        if self._open_count >= self.max_open and not self._implicitly_close_one():
             return Status.TOO_MANY_OPEN_ZONES
         return Status.SUCCESS
+
+    def _implicitly_close_one(self) -> bool:
+        """Free an open slot by closing an implicitly-opened zone.
+
+        The spec's open-resource management rule: when a zone must be
+        opened while ``max_open`` zones are open, the controller may
+        transition an *implicitly* opened zone to CLOSED and proceed.
+        The victim must be deterministic for reproducibility — like
+        Linux null_blk we take the lowest zone index and apply the rule
+        to explicit opens as well as write-triggered ones. A victim
+        with an untouched write pointer returns to EMPTY (regular close
+        semantics — nothing was written, nothing stays active).
+        Explicitly-opened zones are never evicted: if every slot is
+        held explicitly the caller gets TOO_MANY_OPEN_ZONES.
+        """
+        for zone in self.zones:
+            if zone.state is ZoneState.IMPLICIT_OPEN:
+                self._enter(zone, ZoneState.EMPTY if zone.wp == zone.zslba
+                            else ZoneState.CLOSED)
+                return True
+        return False
 
     def force_state(self, zone: Zone, state: ZoneState) -> None:
         """Failure injection: push a zone into READ_ONLY or OFFLINE.
@@ -299,9 +328,19 @@ class ZoneManager:
         return Status.INVALID_ZONE_STATE_TRANSITION
 
     def finish(self, zone: Zone) -> tuple[Status, int]:
-        """Finish a zone; returns (status, padded_lbas)."""
+        """Finish a zone; returns (status, padded_lbas).
+
+        Legal from every writable-lifecycle state: EMPTY pads the whole
+        writable capacity, open/closed zones pad what remains, and a
+        FULL zone is an idempotent no-op success (pad 0, the recorded
+        pad untouched) — Zone Finish in the ZSF state completes
+        successfully per the spec, like ``open``/``close`` idempotency.
+        """
         state = zone.state
-        if state in (ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN, ZoneState.CLOSED):
+        if state is ZoneState.FULL:
+            return Status.SUCCESS, 0
+        if state in (ZoneState.EMPTY, ZoneState.IMPLICIT_OPEN,
+                     ZoneState.EXPLICIT_OPEN, ZoneState.CLOSED):
             pad = zone.remaining_lbas
             zone.finished_pad_lbas = pad
             zone.wp = zone.writable_end

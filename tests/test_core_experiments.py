@@ -47,7 +47,7 @@ def fig2b(config):
 
 class TestFig2:
     def test_fig2a_covers_all_stack_format_combinations(self, fig2a):
-        assert len(fig2a.rows) == 8  # 2 formats x (3 write stacks + 1 append)
+        assert len(fig2a.rows) == 12  # 2 formats x (4 write stacks + 2 append)
 
     def test_obs1_lba_format_effect(self, fig2a):
         check = check_obs1(fig2a)

@@ -473,10 +473,10 @@ class TestBench:
 
         doc = run_bench(["fig2a"], tiny_config(), jobs=1)
         assert doc["schema"] == BENCH_SCHEMA
-        assert doc["points"] == 8 and doc["cache_hits"] == 0
+        assert doc["points"] == 12 and doc["cache_hits"] == 0
         assert doc["events"] > 0 and doc["events_per_s"] > 0
         row = doc["experiments"]["fig2a"]
-        assert row["points"] == 8 and row["events"] == doc["events"]
+        assert row["points"] == 12 and row["events"] == doc["events"]
 
     def test_compare_gates_on_events_per_s(self):
         from repro.exec.bench import compare

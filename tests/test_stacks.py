@@ -1,10 +1,17 @@
-"""Tests for the host storage stacks (SPDK, io_uring, mq-deadline)."""
+"""Tests for the host storage stacks (SPDK, thrpool, io_uring)."""
+
+import json
 
 import pytest
 
 from repro.hostif import Status, ZoneAction
 from repro.sim import us
-from repro.stacks import IoUringStack, SpdkStack, UnsupportedOperation
+from repro.stacks import (
+    IoUringStack,
+    SpdkStack,
+    ThreadPoolStack,
+    UnsupportedOperation,
+)
 
 from .util import append, make_device, mgmt, read, write
 
@@ -102,6 +109,106 @@ class TestIoUringStack:
         run(sim, stack.submit(write(0, 1)))
         cpl = run(sim, stack.submit(read(0, 1)))
         assert cpl.ok
+
+
+class TestThreadPoolStack:
+    def test_write_latency_between_spdk_and_iouring(self):
+        """Obs #2 ordering: SPDK < thrpool < io_uring host overhead."""
+        latencies = {}
+        for name, build in (
+            ("spdk", SpdkStack),
+            ("thrpool", ThreadPoolStack),
+            ("iouring", lambda dev: IoUringStack(dev, scheduler="none")),
+        ):
+            sim, dev = make_device()
+            stack = build(dev)
+            run(sim, stack.submit(write(0, 1)))
+            latencies[name] = run(sim, stack.submit(write(1, 1))).latency_ns
+        assert latencies["spdk"] < latencies["thrpool"] < latencies["iouring"]
+        # Calibration anchor: 10.79 µs device write + 1.10 µs pool hop.
+        assert latencies["thrpool"] == 10_790 + 1_100
+
+    def test_supports_append_and_zone_management(self):
+        sim, dev = make_device()
+        stack = ThreadPoolStack(dev)
+        zone = dev.zones.zones[0]
+        assert run(sim, stack.submit(append(zone.zslba, 2))).ok
+        assert run(sim, stack.submit(mgmt(zone.zslba, ZoneAction.FINISH))).ok
+        assert run(sim, stack.submit(mgmt(zone.zslba, ZoneAction.RESET))).ok
+
+    def test_worker_count_bounds_device_concurrency(self):
+        """N worker threads admit at most N in-flight device commands."""
+        def makespan(num_threads, jobs=6):
+            sim, dev = make_device()
+            stack = ThreadPoolStack(dev, num_threads=num_threads)
+            dev.force_fill(0, 512)
+            events = [stack.submit(read(i, 1)) for i in range(jobs)]
+            sim.run()
+            assert all(e.value.ok for e in events)
+            return max(e.value.completed_at for e in events)
+
+        serial = makespan(1)
+        dual = makespan(2)
+        wide = makespan(6)
+        # One worker serializes the queue; more workers overlap I/O.
+        assert serial > dual > wide
+
+    def test_single_worker_fifo_order(self):
+        sim, dev = make_device()
+        stack = ThreadPoolStack(dev, num_threads=1)
+        dev.force_fill(0, 512)
+        events = [stack.submit(read(i, 1)) for i in range(4)]
+        sim.run()
+        finished = [e.value.completed_at for e in events]
+        assert finished == sorted(finished)  # strict submission order
+        assert stack.stats.dispatched == 4
+
+    def test_invalid_thread_count_rejected(self):
+        _, dev = make_device()
+        with pytest.raises(ValueError):
+            ThreadPoolStack(dev, num_threads=0)
+
+
+class TestThreadPoolDeterminism:
+    """The new stack must satisfy the exec-engine identity contract."""
+
+    @staticmethod
+    def _blob(results):
+        from repro.core.experiments.points import serialize_result
+
+        return json.dumps(
+            {k: serialize_result(v) for k, v in results.items()},
+            sort_keys=True,
+        )
+
+    @pytest.mark.parametrize("faults", [None, "chaos"])
+    def test_fig2b_byte_identical_at_any_jobs(self, faults):
+        from repro.core import ExperimentConfig
+        from repro.exec import execute_experiments
+        from repro.sim import ms
+
+        config = ExperimentConfig(point_runtime_ns=ms(2), ramp_ns=ms(0.4),
+                                  num_zones=16, zones_per_level=3,
+                                  stacks=("thrpool",), faults=faults)
+        serial, _ = execute_experiments(["fig2b"], config, jobs=1)
+        parallel, _ = execute_experiments(["fig2b"], config, jobs=4)
+        assert self._blob(serial) == self._blob(parallel)
+        rows = serial["fig2b"].rows
+        assert rows and all(row["stack"] == "thrpool" for row in rows)
+        # The sweep honors --stack thrpool: both ops on both formats.
+        assert {row["op"] for row in rows} == {"write", "append"}
+
+    def test_obs2_ordering_in_experiment_sweep(self):
+        from repro.core import ExperimentConfig
+        from repro.core.observations import check_obs2
+        from repro.exec import execute_experiments
+        from repro.sim import ms
+
+        config = ExperimentConfig(point_runtime_ns=ms(2), ramp_ns=ms(0.4),
+                                  num_zones=16, zones_per_level=3)
+        results, _ = execute_experiments(["fig2b"], config, jobs=1)
+        check = check_obs2(results["fig2b"])
+        assert check.passed, check.details
 
 
 class TestMqDeadlineMerging:

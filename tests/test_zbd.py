@@ -67,7 +67,16 @@ class TestManagement:
         zbd.reset_zone(0)
         assert zbd.report_zones(0, 1)[0].occupancy == 0
 
-    def test_finish_empty_zone_raises(self, zbd):
+    def test_finish_empty_zone_pads_to_full(self, zbd):
+        # Regression: finishing an EMPTY zone used to raise; the spec's
+        # ZSE→ZSF arc pads the whole writable capacity instead.
+        zbd.finish_zone(5)
+        info = zbd.report_zones(5, 1)[0]
+        assert info.state is ZoneState.FULL
+        assert info.wp == info.start + info.capacity
+
+    def test_finish_offline_zone_raises(self, zbd):
+        zbd.device.inject_zone_failure(5, ZoneState.OFFLINE)
         with pytest.raises(StatusError, match="invalid_zone_state_transition"):
             zbd.finish_zone(5)
 

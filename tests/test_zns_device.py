@@ -197,6 +197,14 @@ class TestZoneManagement:
         cpl = run_cmd(sim, dev, mgmt(1, ZoneAction.OPEN))
         assert cpl.status is Status.INVALID_FIELD
 
+    def test_mgmt_on_out_of_range_slba_rejected(self):
+        # Regression: an out-of-range ZSLBA used to report INVALID_FIELD
+        # like a misaligned one; it is an addressing error.
+        sim, dev = make_device()
+        beyond = dev.namespace.capacity_lbas
+        cpl = run_cmd(sim, dev, mgmt(beyond, ZoneAction.RESET))
+        assert cpl.status is Status.LBA_OUT_OF_RANGE
+
     def test_reset_empty_zone_cheapest(self):
         sim, dev = make_device()
         zone = dev.zones.zones[0]
@@ -241,17 +249,34 @@ class TestZoneManagement:
             latencies.append(cpl.latency_ns)
         assert latencies == sorted(latencies, reverse=True)
 
-    def test_finish_empty_zone_rejected(self):
+    def test_finish_empty_zone_pads_whole_capacity(self):
+        # Regression: used to be rejected; the spec permits ZSE→ZSF, so
+        # the firmware pads the entire writable capacity (the most
+        # expensive finish there is — dearer than any occupied zone).
         sim, dev = make_device()
-        cpl = run_cmd(sim, dev, mgmt(0, ZoneAction.FINISH))
-        assert cpl.status is Status.INVALID_ZONE_STATE_TRANSITION
+        zone = dev.zones.zones[0]
+        empty_cpl = run_cmd(sim, dev, mgmt(zone.zslba, ZoneAction.FINISH))
+        assert empty_cpl.ok
+        assert zone.state is ZoneState.FULL
+        assert zone.finished_pad_lbas == zone.cap_lbas
+        dev.zones.check_invariants()
+        other = dev.zones.zones[1]
+        dev.force_fill(other.index, other.cap_lbas // 2)
+        half_cpl = run_cmd(sim, dev, mgmt(other.zslba, ZoneAction.FINISH))
+        assert empty_cpl.latency_ns > half_cpl.latency_ns
 
-    def test_finish_full_zone_rejected(self):
+    def test_finish_full_zone_is_cheap_idempotent_success(self):
+        # Regression: used to be rejected; finish-on-FULL succeeds and
+        # pays only the management handshake, not the padding work.
         sim, dev = make_device()
         zone = dev.zones.zones[0]
         dev.force_fill(0, zone.cap_lbas)
         cpl = run_cmd(sim, dev, mgmt(zone.zslba, ZoneAction.FINISH))
-        assert cpl.status is Status.INVALID_ZONE_STATE_TRANSITION
+        assert cpl.ok
+        assert zone.state is ZoneState.FULL
+        assert zone.finished_pad_lbas == 0
+        assert cpl.latency_ns < us(100)  # no pad: handshake only
+        dev.zones.check_invariants()
 
     def test_write_during_finish_rejected(self):
         sim, dev = make_device()

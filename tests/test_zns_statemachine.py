@@ -106,14 +106,41 @@ class TestWrites:
         status, _ = mgr.admit_write(mgr.zones[2], mgr.zones[2].zslba, 1)
         assert status is Status.TOO_MANY_ACTIVE_ZONES
 
-    def test_max_open_blocks_reopening_closed_zone(self):
+    def test_write_at_max_open_implicitly_closes_victim(self):
+        # Regression: this write used to fail with TOO_MANY_OPEN_ZONES;
+        # the spec's resource management lets the controller close an
+        # implicitly-opened zone to free the slot (null_blk behavior).
         mgr = manager(max_open=1, max_active=3)
         mgr.admit_write(mgr.zones[0], mgr.zones[0].zslba, 1)
         mgr.close(mgr.zones[0])
         mgr.admit_write(mgr.zones[1], mgr.zones[1].zslba, 1)
         # zone 0 is CLOSED (active), zone 1 holds the single open slot.
-        status, _ = mgr.admit_write(mgr.zones[0], mgr.zones[0].wp, 1)
-        assert status is Status.TOO_MANY_OPEN_ZONES
+        status, opened = mgr.admit_write(mgr.zones[0], mgr.zones[0].wp, 1)
+        assert status is Status.SUCCESS and opened
+        assert mgr.zones[1].state is ZoneState.CLOSED  # evicted victim
+        assert mgr.zones[0].state is ZoneState.IMPLICIT_OPEN
+        assert mgr.open_count == 1
+        mgr.check_invariants()
+
+    def test_implicit_close_picks_lowest_indexed_victim(self):
+        mgr = manager(max_open=2, max_active=5)
+        for i in (2, 4):
+            mgr.admit_write(mgr.zones[i], mgr.zones[i].zslba, 1)
+        status, _ = mgr.admit_write(mgr.zones[0], mgr.zones[0].zslba, 1)
+        assert status is Status.SUCCESS
+        assert mgr.zones[2].state is ZoneState.CLOSED
+        assert mgr.zones[4].state is ZoneState.IMPLICIT_OPEN
+        mgr.check_invariants()
+
+    def test_misplaced_write_at_max_open_evicts_nothing(self):
+        mgr = manager(max_open=1, max_active=3)
+        mgr.admit_write(mgr.zones[0], mgr.zones[0].zslba, 1)
+        status, _ = mgr.admit_write(mgr.zones[1], mgr.zones[1].zslba + 5, 1)
+        assert status is Status.ZONE_INVALID_WRITE
+        # The rejected write neither opened zone 1 nor closed zone 0.
+        assert mgr.zones[0].state is ZoneState.IMPLICIT_OPEN
+        assert mgr.zones[1].state is ZoneState.EMPTY
+        mgr.check_invariants()
 
 
 class TestAppends:
@@ -179,10 +206,38 @@ class TestExplicitTransitions:
         assert mgr.active_count == 0
 
     def test_open_respects_max_open(self):
+        # Every slot is *explicitly* held, so there is no implicit-open
+        # victim for the controller to evict: the open must fail.
         mgr = manager(max_open=2, max_active=5)
         assert mgr.open(mgr.zones[0]) is Status.SUCCESS
         assert mgr.open(mgr.zones[1]) is Status.SUCCESS
         assert mgr.open(mgr.zones[2]) is Status.TOO_MANY_OPEN_ZONES
+
+    def test_explicit_open_at_limit_evicts_implicit_victim(self):
+        # Regression: an explicit open at the max-open limit used to
+        # fail even with an implicitly-opened zone available to close.
+        mgr = manager(max_open=2, max_active=5)
+        mgr.admit_write(mgr.zones[0], mgr.zones[0].zslba, 1)
+        assert mgr.open(mgr.zones[1]) is Status.SUCCESS
+        assert mgr.open(mgr.zones[2]) is Status.SUCCESS
+        assert mgr.zones[0].state is ZoneState.CLOSED
+        assert mgr.zones[2].state is ZoneState.EXPLICIT_OPEN
+        assert mgr.open_count == 2 and mgr.active_count == 3
+        mgr.check_invariants()
+
+    def test_untouched_implicit_victim_returns_to_empty(self):
+        # An implicitly-opened zone whose write pointer is still at the
+        # start holds no data: evicting it is a close-to-EMPTY, so the
+        # active count must drop too. (Reachable via restore_state —
+        # admission itself always advances the pointer.)
+        mgr = manager(max_open=1, max_active=2)
+        snapshot = mgr.state_snapshot()
+        snapshot[0] = (ZoneState.IMPLICIT_OPEN.value, 0, 0)
+        mgr.restore_state(snapshot)
+        assert mgr.open(mgr.zones[1]) is Status.SUCCESS
+        assert mgr.zones[0].state is ZoneState.EMPTY
+        assert mgr.open_count == 1 and mgr.active_count == 1
+        mgr.check_invariants()
 
     def test_open_full_zone_rejected(self):
         mgr = manager()
@@ -207,17 +262,33 @@ class TestFinish:
         assert zone.finished_pad_lbas == 50
         assert mgr.active_count == 0
 
-    def test_finish_empty_zone_rejected(self):
-        mgr = manager()
-        status, pad = mgr.finish(mgr.zones[0])
-        assert status is Status.INVALID_ZONE_STATE_TRANSITION and pad == 0
-
-    def test_finish_full_zone_rejected(self):
-        mgr = manager()
+    def test_finish_empty_zone_pads_full_capacity(self):
+        # Regression: Empty→Full used to be rejected; the spec's Zone
+        # Finish is legal from ZSE and pads the whole writable capacity.
+        mgr = manager(size=100, cap=80)
         zone = mgr.zones[0]
-        mgr.admit_write(zone, 0, 80)
-        status, _ = mgr.finish(zone)
-        assert status is Status.INVALID_ZONE_STATE_TRANSITION
+        status, pad = mgr.finish(zone)
+        assert status is Status.SUCCESS and pad == 80
+        assert zone.state is ZoneState.FULL
+        assert zone.wp == zone.writable_end
+        assert zone.finished_pad_lbas == 80
+        assert mgr.open_count == 0 and mgr.active_count == 0
+        mgr.check_invariants()
+
+    def test_finish_full_zone_is_idempotent_noop(self):
+        # Regression: finish-on-FULL used to be rejected; like
+        # open/close it is an idempotent SUCCESS, and it must not
+        # disturb the pad recorded by an earlier finish.
+        mgr = manager(size=100, cap=80)
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 30)
+        mgr.finish(zone)
+        assert zone.finished_pad_lbas == 50
+        status, pad = mgr.finish(zone)
+        assert status is Status.SUCCESS and pad == 0
+        assert zone.state is ZoneState.FULL
+        assert zone.finished_pad_lbas == 50
+        mgr.check_invariants()
 
     def test_finish_closed_zone_allowed(self):
         mgr = manager()
@@ -262,6 +333,58 @@ class TestReset:
         mgr.reset(mgr.zones[0])
         status, _ = mgr.admit_write(mgr.zones[1], 100, 10)
         assert status is Status.SUCCESS
+
+
+class TestPowerLossRollback:
+    """Counter accounting across the recovery arc (DESIGN.md §12)."""
+
+    def test_rollback_to_start_returns_zone_to_empty(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 10)
+        assert mgr.power_loss_rollback(zone, 10)
+        assert zone.state is ZoneState.EMPTY and zone.wp == zone.zslba
+        assert mgr.open_count == 0 and mgr.active_count == 0
+        mgr.check_invariants()
+
+    def test_full_zone_with_lost_tail_reopens_closed(self):
+        mgr = manager(size=100, cap=80)
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 80)
+        assert mgr.power_loss_rollback(zone, 5)
+        assert zone.state is ZoneState.CLOSED and zone.wp == 75
+        assert mgr.active_count == 1
+        mgr.check_invariants()
+
+    def test_full_zone_torn_to_empty_at_active_limit(self):
+        mgr = manager(max_open=1, max_active=1, size=100, cap=80)
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 80)  # FULL frees the active slot...
+        mgr.admit_write(mgr.zones[1], 100, 1)  # ...which zone 1 now holds
+        assert mgr.power_loss_rollback(zone, 5)
+        # Reopening as CLOSED would exceed max_active: torn down instead.
+        assert zone.state is ZoneState.EMPTY and zone.wp == zone.zslba
+        mgr.check_invariants()
+
+    def test_partial_rollback_keeps_open_state(self):
+        mgr = manager()
+        zone = mgr.zones[0]
+        mgr.admit_write(zone, 0, 10)
+        assert mgr.power_loss_rollback(zone, 4)
+        assert zone.state is ZoneState.IMPLICIT_OPEN and zone.wp == 6
+        mgr.check_invariants()
+
+    def test_rollback_skips_retired_and_padded_zones(self):
+        mgr = manager()
+        finished = mgr.zones[0]
+        mgr.admit_write(finished, 0, 10)
+        mgr.finish(finished)
+        assert not mgr.power_loss_rollback(finished, 4)  # pad is metadata
+        retired = mgr.zones[1]
+        mgr.admit_write(retired, retired.zslba, 10)
+        mgr.retire(retired, ZoneState.READ_ONLY)
+        assert not mgr.power_loss_rollback(retired, 4)
+        mgr.check_invariants()
 
 
 # --------------------------------------------------------------------------
