@@ -215,7 +215,7 @@ def main(argv: list[str] | None = None) -> int:
                               metavar="K",
                               help="per-experiment gates fail below "
                                    "baseline mean - K x recorded stdev "
-                                   "(schema-2 reps; default %(default)s)")
+                                   "(recorded reps; default %(default)s)")
     cache_parser = sub.add_parser(
         "cache", help="manage the point-result cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command",

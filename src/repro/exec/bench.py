@@ -31,6 +31,16 @@ threshold is sized from the baseline's recorded stdevs
 noisy one a loose gate — instead of one margin wide enough for the
 noisiest member (CI runs this against the committed
 ``benchmarks/BENCH_baseline.json``).
+
+Schema 3 adds pure-engine microbenchmarks under the ``engine`` key:
+tiny synthetic simulations that isolate the event-core paths the
+experiment sweeps lean on (timeout churn through the heap, FIFO
+service-line handoffs, bulk pre-sorted heap insertion via
+``schedule_after_many``, process spawn/join, and container put/get
+backpressure). Their events/sec figures are **informational** — CI
+renders them alongside the sweep numbers but :func:`compare` does not
+gate on them, because a sub-second microbench has far more runner
+noise than the multi-second sweeps the gates protect.
 """
 
 from __future__ import annotations
@@ -38,16 +48,19 @@ from __future__ import annotations
 import json
 import platform
 import sys
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from ..core.experiments.common import ExperimentConfig
+from ..sim.engine import Simulator
+from ..sim.resources import Container, ServiceLine
 from .engine import ExecutionReport, execute_experiments
 
-__all__ = ["BENCH_SCHEMA", "QUICK_IDS", "run_bench", "compare", "render",
-           "load"]
+__all__ = ["BENCH_SCHEMA", "QUICK_IDS", "run_bench", "run_engine_microbench",
+           "compare", "render", "load"]
 
 #: Bump when the BENCH_sim.json layout changes.
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 #: The ``--quick`` subset: the cheap latency/throughput sweeps that
 #: exercise every stack (SPDK, io_uring ± scheduler) and every opcode
@@ -81,6 +94,139 @@ def _stdev(values: list[float]) -> float:
         return 0.0
     mean = sum(values) / len(values)
     return (sum((v - mean) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+# -- engine microbenchmarks ----------------------------------------------
+#
+# Each builder returns a fresh Simulator pre-loaded with a synthetic
+# workload; the driver times only the run. Workloads are deterministic
+# (no RNG), so the event counts are fixed and only wall time varies.
+
+def _build_timeout_churn() -> Simulator:
+    """Many processes cycling short timeouts: the heap's steady state."""
+    sim = Simulator()
+
+    def worker(delay: int):
+        timeout = sim.timeout
+        for _ in range(4000):
+            yield timeout(delay)
+
+    for i in range(64):
+        sim.process(worker(1 + i % 7))
+    return sim
+
+
+def _build_wakeup_batch() -> Simulator:
+    """A contended FIFO service line: grant-on-release handoff chains
+    (the batched controller-wakeup path of DESIGN.md §15)."""
+    sim = Simulator()
+    line = ServiceLine(sim, name="ctrl")
+
+    def worker():
+        timeout = sim.timeout
+        for _ in range(1500):
+            req = line.request()
+            yield req
+            yield timeout(1)
+            line.release(req)
+
+    for _ in range(64):
+        sim.process(worker())
+    return sim
+
+
+def _build_heap_insert() -> Simulator:
+    """Bulk pre-sorted insertion via ``schedule_after_many`` followed by
+    a full drain — the trace-shaped arrival pattern."""
+    sim = Simulator()
+
+    def driver():
+        delays = list(range(1, 4097))
+        for _ in range(32):
+            handles = sim.schedule_after_many(delays)
+            yield handles[-1]
+
+    sim.process(driver())
+    return sim
+
+
+def _build_spawn_join() -> Simulator:
+    """Process spawn + all_of join: the fan-out/fan-in of striped I/O."""
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+
+    def parent():
+        for _ in range(150):
+            children = [sim.process(child()) for _ in range(128)]
+            yield sim.all_of(children)
+
+    sim.process(parent())
+    return sim
+
+
+def _build_container_putget() -> Simulator:
+    """Producer/consumer through a small Container: put/get blocking and
+    wakeup (the write-buffer backpressure path)."""
+    sim = Simulator()
+    box = Container(sim, capacity=8)
+
+    def producer():
+        timeout = sim.timeout
+        for _ in range(25_000):
+            yield box.put(1)
+            yield timeout(1)
+
+    def consumer():
+        timeout = sim.timeout
+        for _ in range(25_000):
+            yield box.get(1)
+            yield timeout(2)
+
+    sim.process(producer())
+    sim.process(consumer())
+    return sim
+
+
+ENGINE_MICROBENCHES: tuple[tuple[str, Callable[[], Simulator]], ...] = (
+    ("timeout_churn", _build_timeout_churn),
+    ("wakeup_batch", _build_wakeup_batch),
+    ("heap_insert", _build_heap_insert),
+    ("spawn_join", _build_spawn_join),
+    ("container_putget", _build_container_putget),
+)
+
+
+def run_engine_microbench(reps: int = 1) -> dict[str, dict[str, Any]]:
+    """Run the pure-engine microbenchmarks; one row per bench.
+
+    Row shape mirrors the per-experiment rows (events are deterministic;
+    timing figures are means across ``reps`` with a sample stdev).
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    rows: dict[str, dict[str, Any]] = {}
+    for name, build in ENGINE_MICROBENCHES:
+        events = 0
+        walls: list[float] = []
+        rates: list[float] = []
+        for _ in range(reps):
+            sim = build()
+            started = perf_counter()
+            sim.run()
+            elapsed = perf_counter() - started
+            events = sim.events_processed
+            walls.append(elapsed)
+            rates.append(events / elapsed if elapsed > 0 else 0.0)
+        rows[name] = {
+            "events": events,
+            "wall_s": round(sum(walls) / len(walls), 3),
+            "wall_s_stdev": round(_stdev(walls), 3),
+            "events_per_s": round(sum(rates) / len(rates), 1),
+            "events_per_s_stdev": round(_stdev(rates), 1),
+        }
+    return rows
 
 
 def run_bench(
@@ -133,6 +279,7 @@ def run_bench(
 
     aggregate_rates = [report.events_per_s for report in reports]
     first = reports[0]
+    engine = run_engine_microbench(reps)
     return {
         "schema": BENCH_SCHEMA,
         "python": platform.python_version(),
@@ -147,6 +294,7 @@ def run_bench(
         "events_per_s": round(sum(aggregate_rates) / reps, 1),
         "events_per_s_stdev": round(_stdev(aggregate_rates), 1),
         "experiments": experiments,
+        "engine": engine,
     }
 
 
@@ -228,6 +376,18 @@ def render(doc: dict[str, Any], baseline: Optional[dict[str, Any]] = None,
         if base_rate > 0.0 and row["events_per_s"] > 0.0:
             delta = row["events_per_s"] / base_rate - 1.0
             line += f" ({delta:+.0%} vs baseline)"
+        print(line, file=file)
+    engine_base = (baseline or {}).get("engine", {})
+    for name, row in (doc.get("engine") or {}).items():
+        line = (f"[bench]   engine/{name}: {row['events']} events, "
+                f"{row['events_per_s']:.0f} ev/s")
+        if reps > 1:
+            line += f" (±{row.get('events_per_s_stdev', 0.0):.0f})"
+        base_rate = float((engine_base.get(name) or {})
+                          .get("events_per_s") or 0.0)
+        if base_rate > 0.0 and row["events_per_s"] > 0.0:
+            delta = row["events_per_s"] / base_rate - 1.0
+            line += f" ({delta:+.0%} vs baseline, informational)"
         print(line, file=file)
 
 

@@ -254,6 +254,7 @@ CODE_LAYERS = (
     ("flash-backend", "/repro/flash/"),
     ("sim-engine", "/repro/sim/"),
     ("host-side", "/repro/hostif/"),
+    ("host-stacks", "/repro/stacks/"),
     ("observability", "/repro/obs/"),
     ("faults", "/repro/faults/"),
     ("workload", "/repro/workload/"),

@@ -27,20 +27,29 @@ clock reached ``T`` (delays are >= 1 ns), while every ready event due at
 ``T`` was triggered *at* ``T`` — so draining the heap's ``T`` entries
 before the deque replays the exact global scheduling order.
 
-Allocation discipline: :class:`Timeout` and the engine's internal wakeup
-:class:`Event` objects are the two most-allocated types; the simulator
-keeps small per-instance freelists and recycles an instance only when
-``sys.getrefcount`` proves the engine holds the sole reference, so user
-code that retains an event (completion handles, condition children) can
-never observe a recycled object.
+Waiter storage: an event's waiters live in a single ``_cb`` slot holding
+``None``, one waiter, or (rarely) a list of waiters. A waiter is either a
+plain callable or a :class:`Process` stored *directly* — the dispatch
+loop recognizes the class and resumes the generator inline, so the
+overwhelmingly common wait shape (one process blocked on one timeout)
+costs no bound-method allocation and no intermediate Python call. Code
+that needs the historical list semantics uses :meth:`Event.add_callback`
+/ :meth:`Event.remove_callback` (DESIGN.md §15).
+
+Allocation discipline: :class:`Timeout`, :class:`Process`, and the
+engine's internal wakeup :class:`Event` objects are the three
+most-allocated types; the simulator keeps small per-instance freelists
+and recycles an instance only when ``sys.getrefcount`` proves the engine
+holds the sole reference, so user code that retains an event (completion
+handles, condition children) can never observe a recycled object.
 """
 
 from __future__ import annotations
 
 import sys
 from collections import deque
-from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
 
 __all__ = [
     "us",
@@ -62,7 +71,7 @@ NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_S = 1_000_000_000
 
-#: Cap on each per-simulator freelist (Timeouts and wakeup Events).
+#: Cap on each per-simulator freelist (Timeouts, Processes, wakeup Events).
 _POOL_MAX = 512
 
 #: Events dispatched by every Simulator in this process (read via
@@ -121,11 +130,11 @@ class Event:
     the result of the ``yield``) or an exception (raised in the waiter).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+    __slots__ = ("sim", "_cb", "_value", "_exception", "_triggered", "_processed")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: list[Callable[[Event], None]] = []
+        self._cb: Any = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
@@ -155,6 +164,42 @@ class Event:
             raise self._exception
         return self._value
 
+    # -- waiters ---------------------------------------------------------
+    @property
+    def callbacks(self) -> list:
+        """The waiters attached to this event (a snapshot list).
+
+        Kept for introspection; mutate through :meth:`add_callback` /
+        :meth:`remove_callback`, which maintain the packed single-slot
+        representation the dispatch loop relies on.
+        """
+        cb = self._cb
+        if cb is None:
+            return []
+        if cb.__class__ is list:
+            return list(cb)
+        return [cb]
+
+    def add_callback(self, callback: Any) -> None:
+        """Attach a waiter: a callable taking the event, or a Process."""
+        cb = self._cb
+        if cb is None:
+            self._cb = callback
+        elif cb.__class__ is list:
+            cb.append(callback)
+        else:
+            self._cb = [cb, callback]
+
+    def remove_callback(self, callback: Any) -> None:
+        """Detach a waiter; raises ValueError if it is not attached."""
+        cb = self._cb
+        if cb.__class__ is list:
+            cb.remove(callback)
+        elif cb is callback or (cb is not None and cb == callback):
+            self._cb = None
+        else:
+            raise ValueError(f"{callback!r} is not waiting on {self!r}")
+
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with an optional value."""
@@ -177,21 +222,23 @@ class Event:
         return self
 
     def _run_callbacks(self) -> None:
+        # Out-of-loop dispatch (step(), tests). The run loops inline this.
         self._processed = True
-        callbacks = self.callbacks
-        if len(callbacks) == 1:
-            # Single-waiter fast path (the overwhelmingly common case:
-            # one process blocked on one event): dispatch without
-            # swapping in a fresh list. Clearing before the call keeps
-            # the no-callbacks-after-processing semantics of the slow
-            # path; a re-entrant append leaves the event non-recyclable.
-            callback = callbacks[0]
-            callbacks.clear()
-            callback(self)
-        elif callbacks:
-            self.callbacks = []
-            for callback in callbacks:
-                callback(self)
+        cb = self._cb
+        if cb is None:
+            return
+        self._cb = None
+        cls = cb.__class__
+        if cls is Process:
+            cb._resume(self)
+        elif cls is list:
+            for entry in cb:
+                if entry.__class__ is Process:
+                    entry._resume(self)
+                else:
+                    entry(self)
+        else:
+            cb(self)
 
 
 class Timeout(Event):
@@ -202,11 +249,20 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = int(delay)
-        self._value = value
+        # Event.__init__ inlined (hottest constructor in the kernel).
+        self.sim = sim
+        self._cb = None
+        self._exception = None
+        self._processed = False
         self._triggered = True
-        sim._push(self, delay=self.delay)
+        self._value = value
+        delay = int(delay)
+        self.delay = delay
+        if delay:
+            sim._sequence += 1
+            heappush(sim._heap, (sim.now + delay, sim._sequence, self))
+        else:
+            sim._ready.append(self)
 
 
 class Process(Event):
@@ -218,18 +274,23 @@ class Process(Event):
     completion.
     """
 
-    __slots__ = ("generator", "_waiting_on", "_name", "_resume_cb", "_send")
+    __slots__ = ("generator", "_waiting_on", "_name", "_send")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
-        super().__init__(sim)
+        # Event.__init__ inlined: one Process per command/flush makes this
+        # the second-hottest constructor after Timeout.
+        self.sim = sim
+        self._cb = None
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
         self.generator = generator
         self._name = name
         self._waiting_on: Optional[Event] = None
-        # Bind once: a fresh bound method per yield is pure allocator churn.
-        self._resume_cb = self._resume
         self._send = generator.send
         # Bootstrap: resume the generator at the current time.
-        sim._wake(self._resume_cb)
+        sim._wake(self)
 
     @property
     def name(self) -> str:
@@ -252,7 +313,7 @@ class Process(Event):
         target = self._waiting_on
         if target is not None:
             try:
-                target.callbacks.remove(self._resume_cb)
+                target.remove_callback(self)
             except ValueError:
                 pass
             self._waiting_on = None
@@ -260,8 +321,9 @@ class Process(Event):
 
     # -- internal --------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        # One resume per yield: duplicates _advance's body to spare a
-        # Python call on the single hottest code path in the kernel.
+        # One resume per yield. The run loops inline this body for the
+        # single-waiter case; this method serves multi-waiter lists,
+        # step(), and bootstrap replays.
         self._waiting_on = None
         if event._exception is not None:
             self._advance(self.generator.throw, event._exception)
@@ -274,19 +336,27 @@ class Process(Event):
         except BaseException as error:  # noqa: BLE001 - propagate into event
             self.fail(error)
             return
-        if type(target) is Timeout and not target._processed:
+        if target.__class__ is Timeout and not target._processed:
             self._waiting_on = target
-            target.callbacks.append(self._resume_cb)
+            if target._cb is None:
+                target._cb = self
+            else:
+                target.add_callback(self)
             return
+        self._block_on(target)
+
+    def _block_on(self, target: Any) -> None:
+        """Wait on a non-Timeout yield target (the run loops call this)."""
         if not isinstance(target, Event):
             self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
             return
         if target._processed:
+            # Already completed: resume immediately (same timestep).
             self._waiting_on = self.sim._wake(
-                self._resume_cb, target._value, target._exception
+                self, target._value, target._exception
             )
         else:
-            target.callbacks.append(self._resume_cb)
+            target.add_callback(self)
             self._waiting_on = target
 
     def _throw(self, exc: BaseException) -> None:
@@ -301,17 +371,7 @@ class Process(Event):
         except BaseException as error:  # noqa: BLE001 - propagate into event
             self.fail(error)
             return
-        if not isinstance(target, Event):
-            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
-            return
-        if target._processed:
-            # Already completed: resume immediately (same timestep).
-            self._waiting_on = self.sim._wake(
-                self._resume_cb, target._value, target._exception
-            )
-        else:
-            target.callbacks.append(self._resume_cb)
-            self._waiting_on = target
+        self._block_on(target)
 
 
 class _Condition(Event):
@@ -331,7 +391,7 @@ class _Condition(Event):
                 self._on_child(event)
             else:
                 self._pending += 1
-                event.callbacks.append(self._on_child)
+                event.add_callback(self._on_child)
         self._check_start()
 
     def _check_start(self) -> None:
@@ -411,6 +471,7 @@ class Simulator:
         "_sequence",
         "_timeout_pool",
         "_event_pool",
+        "_process_pool",
         "_events",
         "_tick",
     )
@@ -425,6 +486,7 @@ class Simulator:
         self._sequence = 0
         self._timeout_pool: list[Timeout] = []
         self._event_pool: list[Event] = []
+        self._process_pool: list[Process] = []
         self._events = 0
         self._tick: Optional[Callable[[int], None]] = None
 
@@ -481,8 +543,82 @@ class Simulator:
             self._ready.append(timeout)
         return timeout
 
+    def schedule_after_many(self, delays: Sequence[int]) -> list[Timeout]:
+        """Create one Timeout per delay; ``delays`` must be non-decreasing.
+
+        Equivalent — event for event, including heap tie-break sequence
+        numbers — to ``[self.timeout(d) for d in delays]``, but the
+        pre-sorted ``(when, seq)`` entries are bulk-inserted: zero delays
+        extend the ready deque directly, and the positive tail either
+        extends an empty heap (a sorted list is a valid binary heap) or
+        is merged with one ``heapify`` instead of a sift per event. This
+        is the batching primitive behind burst scheduling (DESIGN.md §15).
+        """
+        events: list[Timeout] = []
+        entries: list[tuple[int, int, Timeout]] = []
+        ready = self._ready
+        pool = self._timeout_pool
+        now = self.now
+        seq = self._sequence
+        last = 0
+        for delay in delays:
+            delay = int(delay)
+            if delay < last:
+                raise SimulationError(
+                    "schedule_after_many requires non-decreasing, "
+                    f"non-negative delays; got {delay} after {last}"
+                )
+            last = delay
+            if pool:
+                timeout = pool.pop()
+                timeout.delay = delay
+                timeout._value = None
+                timeout._exception = None
+                timeout._processed = False
+                timeout._triggered = True
+            else:
+                timeout = Timeout.__new__(Timeout)
+                timeout.sim = self
+                timeout._cb = None
+                timeout._value = None
+                timeout._exception = None
+                timeout._processed = False
+                timeout._triggered = True
+                timeout.delay = delay
+            if delay:
+                seq += 1
+                entries.append((now + delay, seq, timeout))
+            else:
+                ready.append(timeout)
+            events.append(timeout)
+        self._sequence = seq
+        if entries:
+            heap = self._heap
+            if not heap:
+                heap.extend(entries)
+            elif len(entries) * 4 >= len(heap):
+                heap.extend(entries)
+                heapify(heap)
+            else:
+                for entry in entries:
+                    heappush(heap, entry)
+        return events
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a generator as a process; returns its completion event."""
+        pool = self._process_pool
+        if pool:
+            proc = pool.pop()
+            proc.generator = generator
+            proc._send = generator.send
+            proc._name = name
+            proc._value = None
+            proc._exception = None
+            proc._triggered = False
+            proc._processed = False
+            proc._waiting_on = None
+            self._wake(proc)
+            return proc
         return Process(self, generator, name=name)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
@@ -499,10 +635,11 @@ class Simulator:
         else:
             self._ready.append(event)
 
-    def _wake(self, callback: Callable[[Event], None], value: Any = None,
+    def _wake(self, waiter: Any, value: Any = None,
               exception: Optional[BaseException] = None) -> Event:
-        """An already-triggered event firing ``callback`` at the current
-        time (pooled: this is the engine's internal wakeup allocation)."""
+        """An already-triggered event resuming ``waiter`` (a callable or a
+        Process) at the current time (pooled: this is the engine's
+        internal wakeup allocation)."""
         pool = self._event_pool
         if pool:
             event = pool.pop()
@@ -514,7 +651,7 @@ class Simulator:
             event._value = value
             event._exception = exception
         event._triggered = True
-        event.callbacks.append(callback)
+        event._cb = waiter
         self._ready.append(event)
         return event
 
@@ -527,14 +664,14 @@ class Simulator:
         the dispatch loop mid-step with half the timestep unprocessed.
         """
         handle = Event(self)
-        self.timeout(delay).callbacks.append(_ScheduledCall(handle, callback))
+        self.timeout(delay).add_callback(_ScheduledCall(handle, callback))
         return handle
 
     # -- execution -------------------------------------------------------
     def _dispose(self, event: Event) -> None:
         """Recycle ``event`` if the engine provably holds the only
         reference (and nothing re-attached a callback)."""
-        if _getrefcount is None or event.callbacks:
+        if _getrefcount is None or event._cb is not None:
             return
         # Expected refs: the caller's local + getrefcount's argument +
         # this frame's parameter binding.
@@ -545,9 +682,14 @@ class Simulator:
             pool = self._timeout_pool
         elif cls is Event:
             pool = self._event_pool
+        elif cls is Process:
+            pool = self._process_pool
+            event.generator = None
+            event._send = None
         else:
             return
         if len(pool) < _POOL_MAX:
+            event._value = None
             pool.append(event)
 
     def step(self) -> None:
@@ -583,12 +725,31 @@ class Simulator:
             return self._run_until_event(until)
         return self._run_until_time(until)
 
+    # The two run loops below inline event dispatch (Event._run_callbacks
+    # plus Process._resume plus the freelist recycle check) four times
+    # over. The duplication is deliberate: this is the hottest code in
+    # the package (~half of all Python time), and each Python call or
+    # attribute hop removed here is paid back millions of times per run.
+    # Dispatch semantics, in order:
+    #
+    # 1. mark processed, detach the waiter slot;
+    # 2. a Process waiter resumes its generator inline — a yielded
+    #    pending Timeout re-attaches in place, anything else goes through
+    #    Process._block_on; StopIteration completes the process onto the
+    #    ready deque (Event.succeed minus the already-triggered guard,
+    #    which cannot fire for a just-returned generator);
+    # 3. a list fans out in append order; any other waiter is called;
+    # 4. if the engine provably holds the sole reference, the event is
+    #    recycled (Timeout/Event/Process freelists; values cleared so
+    #    pooling never pins a Completion alive).
+
     def _run_until_event(self, stop: Event) -> Any:
         global _EVENTS_TOTAL
         heap = self._heap
         ready = self._ready
         timeout_pool = self._timeout_pool
         event_pool = self._event_pool
+        process_pool = self._process_pool
         getrefcount = _getrefcount
         dispatched = 0
         try:
@@ -600,49 +761,116 @@ class Simulator:
                 now = self.now
                 while heap and heap[0][0] == now:
                     event = heappop(heap)[2]
-                    # Inlined Event._run_callbacks (a call per event adds up).
                     event._processed = True
-                    cbs = event.callbacks
-                    if len(cbs) == 1:
-                        cb = cbs[0]
-                        cbs.clear()
-                        cb(event)
-                    elif cbs:
-                        event.callbacks = []
-                        for cb in cbs:
+                    cb = event._cb
+                    if cb is not None:
+                        event._cb = None
+                        cls = cb.__class__
+                        if cls is Process:
+                            cb._waiting_on = None
+                            if event._exception is None:
+                                try:
+                                    target = cb._send(event._value)
+                                except StopIteration as stop_iter:
+                                    cb._value = stop_iter.value
+                                    cb._triggered = True
+                                    ready.append(cb)
+                                except BaseException as error:  # noqa: BLE001
+                                    cb.fail(error)
+                                else:
+                                    if target.__class__ is Timeout \
+                                            and not target._processed:
+                                        cb._waiting_on = target
+                                        if target._cb is None:
+                                            target._cb = cb
+                                        else:
+                                            target.add_callback(cb)
+                                    else:
+                                        cb._block_on(target)
+                            else:
+                                cb._advance(cb.generator.throw, event._exception)
+                        elif cls is list:
+                            for entry in cb:
+                                if entry.__class__ is Process:
+                                    entry._resume(event)
+                                else:
+                                    entry(event)
+                        else:
                             cb(event)
                     dispatched += 1
-                    if getrefcount is not None and not event.callbacks \
+                    if getrefcount is not None and event._cb is None \
                             and getrefcount(event) == _SOLE_REF:
                         cls = event.__class__
                         if cls is Timeout:
                             if len(timeout_pool) < _POOL_MAX:
+                                event._value = None
                                 timeout_pool.append(event)
-                        elif cls is Event and len(event_pool) < _POOL_MAX:
-                            event_pool.append(event)
+                        elif cls is Event:
+                            if len(event_pool) < _POOL_MAX:
+                                event._value = None
+                                event_pool.append(event)
+                        elif cls is Process and len(process_pool) < _POOL_MAX:
+                            event.generator = None
+                            event._send = None
+                            event._value = None
+                            process_pool.append(event)
                     if stop._processed:
                         return stop.value
                 while ready:
                     event = ready.popleft()
                     event._processed = True
-                    cbs = event.callbacks
-                    if len(cbs) == 1:
-                        cb = cbs[0]
-                        cbs.clear()
-                        cb(event)
-                    elif cbs:
-                        event.callbacks = []
-                        for cb in cbs:
+                    cb = event._cb
+                    if cb is not None:
+                        event._cb = None
+                        cls = cb.__class__
+                        if cls is Process:
+                            cb._waiting_on = None
+                            if event._exception is None:
+                                try:
+                                    target = cb._send(event._value)
+                                except StopIteration as stop_iter:
+                                    cb._value = stop_iter.value
+                                    cb._triggered = True
+                                    ready.append(cb)
+                                except BaseException as error:  # noqa: BLE001
+                                    cb.fail(error)
+                                else:
+                                    if target.__class__ is Timeout \
+                                            and not target._processed:
+                                        cb._waiting_on = target
+                                        if target._cb is None:
+                                            target._cb = cb
+                                        else:
+                                            target.add_callback(cb)
+                                    else:
+                                        cb._block_on(target)
+                            else:
+                                cb._advance(cb.generator.throw, event._exception)
+                        elif cls is list:
+                            for entry in cb:
+                                if entry.__class__ is Process:
+                                    entry._resume(event)
+                                else:
+                                    entry(event)
+                        else:
                             cb(event)
                     dispatched += 1
-                    if getrefcount is not None and not event.callbacks \
+                    if getrefcount is not None and event._cb is None \
                             and getrefcount(event) == _SOLE_REF:
                         cls = event.__class__
                         if cls is Timeout:
                             if len(timeout_pool) < _POOL_MAX:
+                                event._value = None
                                 timeout_pool.append(event)
-                        elif cls is Event and len(event_pool) < _POOL_MAX:
-                            event_pool.append(event)
+                        elif cls is Event:
+                            if len(event_pool) < _POOL_MAX:
+                                event._value = None
+                                event_pool.append(event)
+                        elif cls is Process and len(process_pool) < _POOL_MAX:
+                            event.generator = None
+                            event._send = None
+                            event._value = None
+                            process_pool.append(event)
                     if stop._processed:
                         return stop.value
                 if not heap:
@@ -664,6 +892,7 @@ class Simulator:
         ready = self._ready
         timeout_pool = self._timeout_pool
         event_pool = self._event_pool
+        process_pool = self._process_pool
         getrefcount = _getrefcount
         dispatched = 0
         try:
@@ -675,45 +904,113 @@ class Simulator:
                 while heap and heap[0][0] == now:
                     event = heappop(heap)[2]
                     event._processed = True
-                    cbs = event.callbacks
-                    if len(cbs) == 1:
-                        cb = cbs[0]
-                        cbs.clear()
-                        cb(event)
-                    elif cbs:
-                        event.callbacks = []
-                        for cb in cbs:
+                    cb = event._cb
+                    if cb is not None:
+                        event._cb = None
+                        cls = cb.__class__
+                        if cls is Process:
+                            cb._waiting_on = None
+                            if event._exception is None:
+                                try:
+                                    target = cb._send(event._value)
+                                except StopIteration as stop_iter:
+                                    cb._value = stop_iter.value
+                                    cb._triggered = True
+                                    ready.append(cb)
+                                except BaseException as error:  # noqa: BLE001
+                                    cb.fail(error)
+                                else:
+                                    if target.__class__ is Timeout \
+                                            and not target._processed:
+                                        cb._waiting_on = target
+                                        if target._cb is None:
+                                            target._cb = cb
+                                        else:
+                                            target.add_callback(cb)
+                                    else:
+                                        cb._block_on(target)
+                            else:
+                                cb._advance(cb.generator.throw, event._exception)
+                        elif cls is list:
+                            for entry in cb:
+                                if entry.__class__ is Process:
+                                    entry._resume(event)
+                                else:
+                                    entry(event)
+                        else:
                             cb(event)
                     dispatched += 1
-                    if getrefcount is not None and not event.callbacks \
+                    if getrefcount is not None and event._cb is None \
                             and getrefcount(event) == _SOLE_REF:
                         cls = event.__class__
                         if cls is Timeout:
                             if len(timeout_pool) < _POOL_MAX:
+                                event._value = None
                                 timeout_pool.append(event)
-                        elif cls is Event and len(event_pool) < _POOL_MAX:
-                            event_pool.append(event)
+                        elif cls is Event:
+                            if len(event_pool) < _POOL_MAX:
+                                event._value = None
+                                event_pool.append(event)
+                        elif cls is Process and len(process_pool) < _POOL_MAX:
+                            event.generator = None
+                            event._send = None
+                            event._value = None
+                            process_pool.append(event)
                 while ready:
                     event = ready.popleft()
                     event._processed = True
-                    cbs = event.callbacks
-                    if len(cbs) == 1:
-                        cb = cbs[0]
-                        cbs.clear()
-                        cb(event)
-                    elif cbs:
-                        event.callbacks = []
-                        for cb in cbs:
+                    cb = event._cb
+                    if cb is not None:
+                        event._cb = None
+                        cls = cb.__class__
+                        if cls is Process:
+                            cb._waiting_on = None
+                            if event._exception is None:
+                                try:
+                                    target = cb._send(event._value)
+                                except StopIteration as stop_iter:
+                                    cb._value = stop_iter.value
+                                    cb._triggered = True
+                                    ready.append(cb)
+                                except BaseException as error:  # noqa: BLE001
+                                    cb.fail(error)
+                                else:
+                                    if target.__class__ is Timeout \
+                                            and not target._processed:
+                                        cb._waiting_on = target
+                                        if target._cb is None:
+                                            target._cb = cb
+                                        else:
+                                            target.add_callback(cb)
+                                    else:
+                                        cb._block_on(target)
+                            else:
+                                cb._advance(cb.generator.throw, event._exception)
+                        elif cls is list:
+                            for entry in cb:
+                                if entry.__class__ is Process:
+                                    entry._resume(event)
+                                else:
+                                    entry(event)
+                        else:
                             cb(event)
                     dispatched += 1
-                    if getrefcount is not None and not event.callbacks \
+                    if getrefcount is not None and event._cb is None \
                             and getrefcount(event) == _SOLE_REF:
                         cls = event.__class__
                         if cls is Timeout:
                             if len(timeout_pool) < _POOL_MAX:
+                                event._value = None
                                 timeout_pool.append(event)
-                        elif cls is Event and len(event_pool) < _POOL_MAX:
-                            event_pool.append(event)
+                        elif cls is Event:
+                            if len(event_pool) < _POOL_MAX:
+                                event._value = None
+                                event_pool.append(event)
+                        elif cls is Process and len(process_pool) < _POOL_MAX:
+                            event.generator = None
+                            event._send = None
+                            event._value = None
+                            process_pool.append(event)
                 if not heap:
                     break
                 when = heap[0][0]

@@ -23,7 +23,7 @@ from typing import Any, Optional
 
 from .engine import Event, SimulationError, Simulator
 
-__all__ = ["Request", "Resource", "Container", "Store"]
+__all__ = ["Request", "Resource", "ServiceLine", "Container", "Store"]
 
 
 class Request(Event):
@@ -36,7 +36,7 @@ class Request(Event):
         # controller/die/bus acquisition, the hottest alloc site after
         # Timeout (which the engine pools).
         self.sim = resource.sim
-        self.callbacks = []
+        self._cb = None
         self._value = None
         self._exception = None
         self._triggered = False
@@ -115,6 +115,74 @@ class Resource:
             req = heapq.heappop(self._queue)[2]
             self._users.add(req)
             req.succeed(req)
+
+
+class ServiceLine:
+    """A capacity-1 FIFO server: :class:`Resource` minus the priority queue.
+
+    Drop-in for the ``request()``/``release()``/introspection protocol of a
+    ``Resource(sim, capacity=1)`` **when every requester uses the same
+    priority** — then a priority heap degenerates to FIFO and the grant
+    order is identical event-for-event (uncontended requests are granted
+    synchronously onto the ready deque, contended ones in arrival order
+    from the predecessor's release; both match the Resource's behaviour
+    position-for-position, see DESIGN.md §15). What it saves per
+    acquisition: the Request object with its priority/order fields, the
+    heap tuple push/pop, the user-set add/remove, and the order counter.
+
+    ``request()`` accepts and **ignores** a ``priority`` argument so call
+    sites can select between the two classes at construction time. Code
+    that mixes priorities (firmware unit, conventional-device GC, the
+    power-cut panic grab) must keep using :class:`Resource`.
+    """
+
+    __slots__ = ("sim", "name", "_busy", "_waiters")
+
+    capacity = 1
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._busy = False
+        self._waiters: deque[Event] = deque()
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return 1 if self._busy else 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    # -- protocol ----------------------------------------------------------
+    def request(self, priority: int = 0) -> Event:
+        """Ask for the slot; yield the returned event to block until granted.
+
+        The ``priority`` argument is accepted for Resource compatibility
+        and ignored (the line is strictly FIFO).
+        """
+        event = Event(self.sim)
+        if self._busy:
+            self._waiters.append(event)
+        else:
+            self._busy = True
+            event.succeed(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Return the slot (or cancel a still-queued request)."""
+        if request._triggered:
+            if self._waiters:
+                nxt = self._waiters.popleft()
+                nxt.succeed(nxt)
+            else:
+                self._busy = False
+            return
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            raise SimulationError("release() of a request that holds no slot")
 
 
 class _ContainerOp(Event):

@@ -9,9 +9,21 @@ thread does not perturb the writer's address sequence.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-__all__ = ["StreamFactory", "LatencySampler"]
+__all__ = ["StreamFactory", "LatencySampler", "DEFAULT_JITTER_BLOCK"]
+
+#: Jitter draws per batched sampler refill. ``Generator.normal(size=N)``
+#: produces bit-identical values to N sequential scalar draws (numpy
+#: fills the array through the same ziggurat sampler in draw order), so
+#: the block size changes only allocation amortization, never results —
+#: the draw-order contract in DESIGN.md §15. Overridable per process via
+#: ``REPRO_JITTER_BLOCK`` (an environment variable, not a module global,
+#: so multiprocessing pool workers inherit it under fork *and* spawn);
+#: the byte-identity tests sweep it across 1/16/4096.
+DEFAULT_JITTER_BLOCK = 256
 
 
 class StreamFactory:
@@ -56,20 +68,22 @@ class LatencySampler:
     deterministic emulator models use).
     """
 
-    __slots__ = ("_rng", "_sigma", "_factors", "_cursor")
+    __slots__ = ("_rng", "_sigma", "_factors", "_cursor", "_block")
 
-    #: Jitter draws per batched refill. ``Generator.normal(size=N)``
-    #: produces bit-identical values to N sequential scalar draws, so
-    #: batching changes only allocation cost, never results.
-    _BATCH = 256
-
-    def __init__(self, rng: np.random.Generator, sigma: float = 0.03):
+    def __init__(self, rng: np.random.Generator, sigma: float = 0.03,
+                 block: int | None = None):
         if sigma < 0:
             raise ValueError(f"jitter sigma must be >= 0, got {sigma}")
+        if block is None:
+            block = int(os.environ.get("REPRO_JITTER_BLOCK",
+                                       DEFAULT_JITTER_BLOCK))
+        if block < 1:
+            raise ValueError(f"jitter block must be >= 1, got {block}")
         self._rng = rng
         self._sigma = float(sigma)
         self._factors: list[float] = []
         self._cursor = 0
+        self._block = block
 
     @property
     def sigma(self) -> float:
@@ -84,7 +98,7 @@ class LatencySampler:
         cursor = self._cursor
         if cursor == len(self._factors):
             self._factors = np.exp(
-                self._rng.normal(0.0, self._sigma, size=self._BATCH)
+                self._rng.normal(0.0, self._sigma, size=self._block)
             ).tolist()
             cursor = 0
         self._cursor = cursor + 1

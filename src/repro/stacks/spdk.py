@@ -53,7 +53,7 @@ class SpdkStack(StorageStack):
             )
         done = super().submit(command)
         if zone_index is not None:
-            done.callbacks.append(lambda _e: self._release_zone(zone_index))
+            done.add_callback(lambda _e: self._release_zone(zone_index))
         return done
 
     def _release_zone(self, zone_index: int) -> None:

@@ -19,7 +19,7 @@ from typing import Generator
 
 import numpy as np
 
-from ..hostif.commands import Command, Opcode, ZoneAction
+from ..hostif.commands import Command, Opcode, ZoneAction, recycle_completion
 from ..hostif.status import Status
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_NS
 from ..sim.engine import Event, NS_PER_S, Simulator, us
@@ -149,7 +149,7 @@ class JobRunner:
             for _ in range(self.job.iodepth):
                 slots.append(self.sim.process(self._slot(pattern)))
         done = self.sim.all_of(slots)
-        done.callbacks.append(lambda _e: self._finalize())
+        done.add_callback(lambda _e: self._finalize())
         return done
 
     def run(self) -> JobResult:
@@ -224,6 +224,12 @@ class JobRunner:
             if is_append:
                 pattern.completed(command)
             self._record(completion)
+            # Last touch of this command/completion pair: return both to
+            # the freelists if nothing else (stack merge bookkeeping, a
+            # retained error report) still references them. The loop
+            # variables are rebound before the pool can hand them out
+            # again — see the recycle_completion caller contract.
+            recycle_completion(completion)
 
     def _submit_resilient(self, command, pattern, is_append: bool):
         """Fault-mode submit: command timeout + bounded retry w/ backoff.

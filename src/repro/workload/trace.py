@@ -194,7 +194,7 @@ class TraceReplayer:
                 yield self.sim.any_of(inflight)
                 inflight = [e for e in inflight if not e.processed]
             event = self.stack.submit(record.to_command())
-            event.callbacks.append(self._on_complete)
+            event.add_callback(self._on_complete)
             inflight.append(event)
         if inflight:
             yield self.sim.all_of(inflight)

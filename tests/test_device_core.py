@@ -199,7 +199,7 @@ class TestFidelityPlan:
             assert set(verdicts[model.name]) == set(PROBED_OBSERVATIONS)
 
 
-class TestBenchSchema2:
+class TestBenchSchema3:
     def test_reps_record_variance(self, tmp_path):
         from repro.exec.bench import BENCH_SCHEMA, run_bench
 
@@ -207,7 +207,7 @@ class TestBenchSchema2:
 
         doc = run_bench(["fig2a"], tiny_config(), reps=2,
                         cache_dir=str(tmp_path / "cache"))
-        assert doc["schema"] == BENCH_SCHEMA == 2
+        assert doc["schema"] == BENCH_SCHEMA == 3
         assert doc["reps"] == 2
         assert doc["events_per_s_stdev"] >= 0.0
         row = doc["experiments"]["fig2a"]
@@ -225,3 +225,24 @@ class TestBenchSchema2:
         assert doc["reps"] == 1
         assert doc["events_per_s_stdev"] == 0.0
         assert doc["experiments"]["fig2a"]["wall_s_stdev"] == 0.0
+
+    def test_engine_microbench_rows(self):
+        from repro.exec.bench import ENGINE_MICROBENCHES, run_bench
+
+        from .test_exec import tiny_config
+
+        doc = run_bench(["fig2a"], tiny_config(), reps=1)
+        engine = doc["engine"]
+        assert set(engine) == {name for name, _ in ENGINE_MICROBENCHES}
+        for row in engine.values():
+            assert row["events"] > 0
+            assert row["events_per_s"] > 0.0
+            assert row["events_per_s_stdev"] == 0.0  # single rep
+
+    def test_engine_microbench_counts_are_deterministic(self):
+        from repro.exec.bench import run_engine_microbench
+
+        first = run_engine_microbench()
+        second = run_engine_microbench()
+        assert ({n: r["events"] for n, r in first.items()}
+                == {n: r["events"] for n, r in second.items()})
