@@ -62,6 +62,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config = dataclasses.replace(config, faults=args.faults)
     if getattr(args, "stack", None):
         config = dataclasses.replace(config, stacks=tuple(args.stack))
+    if getattr(args, "tenants", None):
+        config = dataclasses.replace(config, fleet_tenants=args.tenants)
     return config
 
 
@@ -115,6 +117,10 @@ def main(argv: list[str] | None = None) -> int:
                             help="inject faults: a preset name (see "
                                  "'faults list') or a JSON profile path; "
                                  "deterministic under --seed and --jobs")
+    run_parser.add_argument("--tenants", metavar="N", type=int, default=None,
+                            help="serving tenants sharing the fig7_fleet "
+                                 "device (default 3); flows through cache "
+                                 "keys like every other config knob")
     run_parser.add_argument("--telemetry", metavar="US", nargs="?",
                             type=float, const=DEFAULT_INTERVAL_US,
                             default=None,

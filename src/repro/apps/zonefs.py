@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from ..hostif.commands import Command, Completion, Opcode, ZoneAction
 from ..hostif.status import StatusError
+from ..sim.engine import Event
 from ..zns.device import ZnsDevice
 from ..zns.spec import ZoneState
 
@@ -47,12 +48,21 @@ class ZoneFile:
     # -- file operations --------------------------------------------------
     def append(self, nbytes: int) -> Completion:
         """Append ``nbytes`` at the end of the file (zone append)."""
+        return self.fs._sync(self.append_async(nbytes))
+
+    def append_async(self, nbytes: int) -> Event:
+        """Async append: returns the completion event, for use *inside*
+        an already-running simulation (a tenant workload process)."""
         nlb = self.fs._nlb(nbytes)
         zone = self.fs.device.zones.zones[self.zone_index]
-        return self.fs._sync(Command(Opcode.APPEND, slba=zone.zslba, nlb=nlb))
+        return self.fs.submit(Command(Opcode.APPEND, slba=zone.zslba, nlb=nlb))
 
     def pread(self, offset: int, nbytes: int) -> Completion:
         """Read within the written extent of the file."""
+        return self.fs._sync(self.pread_async(offset, nbytes))
+
+    def pread_async(self, offset: int, nbytes: int) -> Event:
+        """Async read within the written extent (see :meth:`append_async`)."""
         if offset < 0 or offset % self.fs._block:
             raise ValueError(f"offset {offset} must be block-aligned and >= 0")
         if offset + nbytes > self.size:
@@ -61,22 +71,26 @@ class ZoneFile:
             )
         zone = self.fs.device.zones.zones[self.zone_index]
         slba = zone.zslba + offset // self.fs._block
-        return self.fs._sync(Command(Opcode.READ, slba=slba, nlb=self.fs._nlb(nbytes)))
+        return self.fs.submit(
+            Command(Opcode.READ, slba=slba, nlb=self.fs._nlb(nbytes)))
 
     def truncate(self, size: int) -> None:
         """zonefs truncation: 0 resets the zone; max_size finishes it."""
+        self.fs._sync(self.truncate_async(size))
+
+    def truncate_async(self, size: int) -> Event:
+        """Async truncation (see :meth:`append_async`)."""
         zone = self.fs.device.zones.zones[self.zone_index]
         if size == 0:
-            self.fs._sync(Command(Opcode.ZONE_MGMT, slba=zone.zslba,
-                                  action=ZoneAction.RESET))
-        elif size == self.max_size:
-            self.fs._sync(Command(Opcode.ZONE_MGMT, slba=zone.zslba,
-                                  action=ZoneAction.FINISH))
-        else:
-            raise ValueError(
-                "zonefs only supports truncation to 0 (reset) or to the "
-                f"zone capacity {self.max_size} (finish); got {size}"
-            )
+            return self.fs.submit(Command(Opcode.ZONE_MGMT, slba=zone.zslba,
+                                          action=ZoneAction.RESET))
+        if size == self.max_size:
+            return self.fs.submit(Command(Opcode.ZONE_MGMT, slba=zone.zslba,
+                                          action=ZoneAction.FINISH))
+        raise ValueError(
+            "zonefs only supports truncation to 0 (reset) or to the "
+            f"zone capacity {self.max_size} (finish); got {size}"
+        )
 
 
 class ZoneFs:
@@ -85,7 +99,16 @@ class ZoneFs:
     def __init__(self, device: ZnsDevice, stack=None):
         self.device = device
         self.sim = device.sim
-        self._target = stack if stack is not None else device
+        if stack is None:
+            # Every mount pays host-stack overhead: a bare device target
+            # here used to silently skip submit/complete costs, skewing
+            # any latency measured through the filesystem path. Anything
+            # with ``submit(Command) -> Event`` works — a StorageStack,
+            # a HostSession, or a Tenant (which also stamps its label).
+            from ..stacks.spdk import SpdkStack
+
+            stack = SpdkStack(device)
+        self._target = stack
         self._block = device.namespace.block_size
         self._files = [ZoneFile(self, i) for i in range(device.zones.num_zones)]
 
@@ -119,8 +142,13 @@ class ZoneFs:
             )
         return nbytes // self._block
 
-    def _sync(self, command: Command) -> Completion:
-        completion = self.sim.run(until=self._target.submit(command))
+    def submit(self, command: Command) -> Event:
+        """Issue a command through the mount's host session."""
+        return self._target.submit(command)
+
+    def _sync(self, event: Event) -> Completion:
+        completion = self.sim.run(until=event)
         if not completion.ok:
-            raise StatusError(completion.status, command.opcode.value)
+            raise StatusError(completion.status,
+                              completion.command.opcode.value)
         return completion

@@ -49,7 +49,14 @@ class StripedZoneArray:
             )
         self.device = device
         self.sim = device.sim
-        self._target = stack if stack is not None else device
+        if stack is None:
+            # Same contract as ZoneFs: the array always submits through
+            # a host session so striped I/O pays stack overhead like any
+            # other path; a bare device target here used to skip it.
+            from ..stacks.spdk import SpdkStack
+
+            stack = SpdkStack(device)
+        self._target = stack
         self.member_zones = list(member_zones)
         self.stripe_unit = stripe_unit
         self._block = block
@@ -74,6 +81,10 @@ class StripedZoneArray:
     @property
     def written(self) -> int:
         return self._written
+
+    def submit(self, command: Command):
+        """Issue a command through the array's host session."""
+        return self._target.submit(command)
 
     # -- write path -----------------------------------------------------------
     def append(self, nbytes: int) -> tuple[int, list[Completion]]:

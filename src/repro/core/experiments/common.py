@@ -99,6 +99,13 @@ class ExperimentConfig:
     #: resolved plan) so configs stay JSON-serializable for the result
     #: cache key — two runs with the same spec share cache entries.
     faults: Optional[str] = None
+    #: Serving tenants sharing the fleet device (``fig7_fleet``); the
+    #: reclaim antagonist is an extra tenant on top of these.
+    fleet_tenants: int = 3
+    #: Per-tenant p99 SLO for the fleet serving (read) path, in µs.
+    fleet_slo_p99_us: float = 750.0
+    #: Simulated duration of one fleet point.
+    fleet_runtime_ns: int = ms(30)
     #: Telemetry sampling interval in simulated nanoseconds, or ``None``
     #: (the default) for no time-resolved sampling. Like ``faults`` this
     #: is the plain scalar — it participates in the cache key and ships
@@ -126,6 +133,7 @@ class ExperimentConfig:
             interference_runtime_ns=round(
                 self.interference_runtime_ns * duration_scale
             ),
+            fleet_runtime_ns=round(self.fleet_runtime_ns * duration_scale),
         )
 
 

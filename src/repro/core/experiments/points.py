@@ -187,6 +187,7 @@ def experiment_plans(auxiliary: bool = False) -> dict[str, ExperimentPlan]:
         ABLATION_GEOMETRY_PLAN,
         ABLATION_ZONE_SIZE_PLAN,
     )
+    from .fleet import FIG7_FLEET_PLAN
     from .io_interference import FIG6_PLAN, FIG6_RATES_PLAN, OBS11_PLAN
     from .lba_format import FIG2A_PLAN, FIG2B_PLAN
     from .qd_latency import FIG8_PLAN
@@ -208,6 +209,7 @@ def experiment_plans(auxiliary: bool = False) -> dict[str, ExperimentPlan]:
         FIG6_PLAN,
         OBS11_PLAN,
         FIG7_PLAN,
+        FIG7_FLEET_PLAN,
         FIG8_PLAN,
         FIG6_RATES_PLAN,
         ABLATION_BUFFER_PLAN,

@@ -23,6 +23,7 @@ def _runners() -> dict[str, Callable]:
         run_ablation_geometry,
         run_ablation_zone_size,
     )
+    from .experiments.fleet import run_fig7_fleet
     from .experiments.io_interference import (
         run_fig6,
         run_fig6_rate_sweep,
@@ -52,6 +53,7 @@ def _runners() -> dict[str, Callable]:
         "fig6": run_fig6,
         "obs11": run_obs11_read_tail,
         "fig7": run_fig7,
+        "fig7_fleet": run_fig7_fleet,
         "fig8": run_fig8,
         "fig6rates": run_fig6_rate_sweep,
         "ablation-buffer": run_ablation_buffer,

@@ -59,6 +59,12 @@ class Command:
     action: Optional[ZoneAction] = None
     submitted_at: int = -1
     tag: object = None  # opaque host cookie (job id, request id, ...)
+    #: Issuing tenant's name, when the command was submitted from inside
+    #: a tenant session (:mod:`repro.tenancy`). ``None`` for single-tenant
+    #: hosts — the label is carried, never interpreted, by the device, so
+    #: it cannot perturb simulation; tracers and SLO reports read it to
+    #: attribute spans and failures to the offending tenant.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.slba < 0:
@@ -129,7 +135,8 @@ _completion_pool: list[Completion] = []
 
 def make_command(opcode: Opcode, slba: int, nlb: int,
                  action: Optional[ZoneAction] = None,
-                 tag: object = None) -> Command:
+                 tag: object = None,
+                 tenant: Optional[str] = None) -> Command:
     """Pooled :class:`Command` constructor for the per-I/O hot path.
 
     The recycled path skips ``__post_init__`` validation — callers are
@@ -146,8 +153,10 @@ def make_command(opcode: Opcode, slba: int, nlb: int,
         command.action = action
         command.submitted_at = -1
         command.tag = tag
+        command.tenant = tenant
         return command
-    return Command(opcode, slba=slba, nlb=nlb, action=action, tag=tag)
+    return Command(opcode, slba=slba, nlb=nlb, action=action, tag=tag,
+                   tenant=tenant)
 
 
 def make_completion(command: Command, status: Status, completed_at: int,
@@ -186,6 +195,7 @@ def recycle_completion(completion: Completion) -> None:
     # The slot never rereads the command after recording.
     if _getrefcount(command) == _COMMAND_REFS and len(_command_pool) < _POOL_MAX:
         command.tag = None
+        command.tenant = None
         command.action = None
         command.submitted_at = -1
         _command_pool.append(command)

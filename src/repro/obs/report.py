@@ -19,7 +19,8 @@ plus inline SVG sparklines, styled with CSS custom properties that
 carry a light and a dark theme (``prefers-color-scheme`` plus a
 ``data-theme`` override). Colors follow the metric family, not the
 column: throughput counts are blue, latency percentiles orange, fault
-activity red, occupancy/census aqua, GC violet. Sparkline tiles are
+activity red, occupancy/census aqua, GC violet, per-tenant accounting
+magenta. Sparkline tiles are
 single-series, so they carry no legend; the column name and a
 min/mean/max/last readout in ink (never series color) identify them.
 """
@@ -147,6 +148,11 @@ def _family_of(name: str) -> Optional[str]:
         return "fault"
     if name.startswith("gc."):
         return "gc"
+    if name.startswith("tenant."):
+        # Per-tenant counters/latencies (repro.tenancy): one family —
+        # including the tenant latency percentiles — so a fleet run's
+        # dashboard separates tenants from device internals at a glance.
+        return "tenant"
     if name.endswith((".p50", ".p95", ".p99")):
         return "lat"
     if (name.startswith(("zones.", "wbuf.", "ftl."))
@@ -158,8 +164,10 @@ def _family_of(name: str) -> Optional[str]:
 
 
 #: Render priority within a segment (latency and throughput first — the
-#: paper's headline axes — then faults, GC, occupancy).
-_FAMILY_ORDER = {"lat": 0, "thru": 1, "fault": 2, "gc": 3, "occ": 4}
+#: paper's headline axes — then faults, GC, occupancy, and per-tenant
+#: accounting).
+_FAMILY_ORDER = {"lat": 0, "thru": 1, "fault": 2, "gc": 3, "occ": 4,
+                 "tenant": 5}
 
 
 def _select_columns(columns: dict[str, list]) -> tuple[list, int]:
@@ -330,7 +338,7 @@ _CSS = """
   --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
   --grid: #e1e0d9;
   --thru: #2a78d6; --lat: #eb6834; --fault: #e34948;
-  --occ: #1baf7a; --gc: #4a3aa7;
+  --occ: #1baf7a; --gc: #4a3aa7; --tenant: #b3437e;
 }
 @media (prefers-color-scheme: dark) {
   :root {
@@ -338,7 +346,7 @@ _CSS = """
     --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
     --grid: #2c2c2a;
     --thru: #3987e5; --lat: #d95926; --fault: #e66767;
-    --occ: #199e70; --gc: #9085e9;
+    --occ: #199e70; --gc: #9085e9; --tenant: #d066a1;
   }
 }
 [data-theme="light"] {
@@ -346,14 +354,14 @@ _CSS = """
   --ink: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
   --grid: #e1e0d9;
   --thru: #2a78d6; --lat: #eb6834; --fault: #e34948;
-  --occ: #1baf7a; --gc: #4a3aa7;
+  --occ: #1baf7a; --gc: #4a3aa7; --tenant: #b3437e;
 }
 [data-theme="dark"] {
   --surface: #1a1a19; --card: #222221;
   --ink: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
   --grid: #2c2c2a;
   --thru: #3987e5; --lat: #d95926; --fault: #e66767;
-  --occ: #199e70; --gc: #9085e9;
+  --occ: #199e70; --gc: #9085e9; --tenant: #d066a1;
 }
 * { box-sizing: border-box; }
 body {
@@ -388,6 +396,7 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 .s-fault { stroke: var(--fault); } .s-faultf { fill: var(--fault); }
 .s-occ { stroke: var(--occ); }   .s-occf { fill: var(--occ); }
 .s-gc { stroke: var(--gc); }     .s-gcf { fill: var(--gc); }
+.s-tenant { stroke: var(--tenant); } .s-tenantf { fill: var(--tenant); }
 footer { margin-top: 28px; color: var(--ink-3); font-size: 12px; }
 """
 

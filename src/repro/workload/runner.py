@@ -76,10 +76,30 @@ class JobResult:
 
 
 class JobRunner:
-    """Runs one JobSpec against a stack/device pair."""
+    """Runs one JobSpec within a host session.
 
-    def __init__(self, device, stack, job: JobSpec,
-                 ts_interval_ns: int = DEFAULT_TS_INTERVAL_NS):
+    The runner no longer assumes it owns the device: it executes inside
+    a session — either an explicit :class:`~repro.tenancy.Tenant`
+    (``tenant=``), whose stack, labels, and accounting it uses, or the
+    anonymous single-tenant session implied by a ``(device, stack)``
+    pair (the historical calling convention, byte-identical to the
+    pre-tenancy runner). Multiple runners in tenant contexts can share
+    one device concurrently; completions, errors, and SLO violations
+    are attributed to the issuing tenant.
+    """
+
+    def __init__(self, device=None, stack=None, job: JobSpec = None,
+                 ts_interval_ns: int = DEFAULT_TS_INTERVAL_NS,
+                 tenant=None):
+        if tenant is not None:
+            device = device if device is not None else tenant.device
+            stack = stack if stack is not None else tenant.stack
+        if device is None or stack is None or job is None:
+            raise ValueError(
+                "JobRunner needs a job plus either a tenant session or "
+                "an explicit device/stack pair"
+            )
+        self.tenant = tenant
         self.device = device
         self.stack = stack
         self.job = job
@@ -102,7 +122,10 @@ class JobRunner:
             else None
         )
         if metrics is not None:
-            prefix = f"workload.{job.name}"
+            prefix = (
+                f"tenant.{tenant.name}.{job.name}" if tenant is not None
+                else f"workload.{job.name}"
+            )
             self._ops_counter = metrics.counter(f"{prefix}.ops")
             self._bytes_counter = metrics.counter(f"{prefix}.bytes")
             self._latency_hist = metrics.histogram(
@@ -126,6 +149,12 @@ class JobRunner:
         # exact event sequence (and RNG draws) of the plain submit loop.
         injector = getattr(device, "faults", None)
         self._fault_plan = injector.plan if injector is not None else None
+        # The submission path is the session's: a tenant stamps its
+        # label and routes through its own stack instance; the anonymous
+        # session is the bare stack (the historical fast path).
+        self._submit = (
+            tenant.submit if tenant is not None else self.stack.submit
+        )
         always_metrics = getattr(device, "metrics", None)
         if self._fault_plan is not None and always_metrics is not None:
             self._timeout_counter = always_metrics.counter("host.timeouts")
@@ -193,7 +222,7 @@ class JobRunner:
         sim = self.sim
         end_ns = self._end_ns
         next_target = pattern.next_target
-        submit = self.stack.submit
+        submit = self._submit
         is_append = isinstance(pattern, ZoneAppendCursor)
         while sim.now < end_ns:
             command, reset_zone = next_target()
@@ -246,7 +275,7 @@ class JobRunner:
         sim = self.sim
         attempts = 0
         while True:
-            target = self.stack.submit(command)
+            target = self._submit(command)
             if plan.command_timeout_ns is not None:
                 timer = sim.timeout(plan.command_timeout_ns)
                 yield sim.any_of([target, timer])
@@ -255,6 +284,8 @@ class JobRunner:
                     errors = self.result.errors
                     aborted = Status.COMMAND_ABORTED
                     errors[aborted] = errors.get(aborted, 0) + 1
+                    if self.tenant is not None:
+                        self.tenant.record_error(aborted, command.slba)
                     if self._timeout_counter is not None:
                         self._timeout_counter.inc()
                     # The device cannot revoke in-flight NAND work, so the
@@ -288,14 +319,19 @@ class JobRunner:
         self._resetting.add(zone_id)
         try:
             zslba = self.device.zones.zones[zone_id].zslba
-            command = Command(Opcode.ZONE_MGMT, slba=zslba, action=ZoneAction.RESET)
+            command = Command(Opcode.ZONE_MGMT, slba=zslba, action=ZoneAction.RESET,
+                              tenant=self.tenant.name if self.tenant else None)
             completion = yield self.device.submit(command)
             if completion.ok:
                 self.result.resets += 1
                 if self._reset_counter is not None:
                     self._reset_counter.inc()
-                if self.sim.now >= self._ramp_end_ns:
+                measured = self.sim.now >= self._ramp_end_ns
+                if measured:
                     self.result.reset_latency.record(completion.latency_ns)
+                if self.tenant is not None:
+                    self.tenant.record_reset(
+                        completion.latency_ns if measured else None)
                 # Only a *successful* reset rewinds the write pointer;
                 # clearing the cursor's reservations for a zone that was
                 # never reset would let appends overshoot its capacity.
@@ -304,6 +340,8 @@ class JobRunner:
             else:
                 errors = self.result.errors
                 errors[completion.status] = errors.get(completion.status, 0) + 1
+                if self.tenant is not None:
+                    self.tenant.record_error(completion.status, zslba)
         finally:
             self._resetting.discard(zone_id)
 
@@ -311,6 +349,9 @@ class JobRunner:
         if not completion.ok:
             errors = self.result.errors
             errors[completion.status] = errors.get(completion.status, 0) + 1
+            if self.tenant is not None:
+                self.tenant.record_error(completion.status,
+                                         completion.command.slba)
             return
         if self.sim.now < self._ramp_end_ns:
             return
@@ -318,6 +359,8 @@ class JobRunner:
         self.result.bytes += self.job.block_size
         self.result.latency.record(completion.latency_ns)
         self.result.timeseries.record(self.sim.now, self.job.block_size)
+        if self.tenant is not None:
+            self.tenant.record(completion, self.job.block_size)
         if self._ops_counter is not None:
             self._ops_counter.inc()
             self._bytes_counter.inc(self.job.block_size)
@@ -341,6 +384,11 @@ class ResetSweep:
         #: so failures are recorded rather than raised — the sweep keeps
         #: going and the caller inspects ``errors`` afterwards.
         self.errors: dict[Status, int] = {}
+        #: The same failures with zone attribution: zone id -> status ->
+        #: count. Multi-tenant SLO reports resolve the zone back to its
+        #: owning tenant, so a failed reset names the offending tenant
+        #: instead of disappearing into an aggregate.
+        self.errors_by_zone: dict[int, dict[Status, int]] = {}
 
     def start(self) -> Event:
         return self.sim.process(self._run())
@@ -357,6 +405,10 @@ class ResetSweep:
             if not completion.ok:
                 self.errors[completion.status] = (
                     self.errors.get(completion.status, 0) + 1
+                )
+                per_zone = self.errors_by_zone.setdefault(zone_id, {})
+                per_zone[completion.status] = (
+                    per_zone.get(completion.status, 0) + 1
                 )
                 continue
             self.latency.record(completion.latency_ns)

@@ -313,6 +313,10 @@ class TestResetSweep:
         latencies = sweep.run()
         assert latencies.count == 1  # zone 1 still reset fine
         assert sum(sweep.errors.values()) == 1
+        # Per-zone attribution: the failure names zone 0, and only it —
+        # a multi-tenant SLO report resolves the zone to its owner.
+        assert list(sweep.errors_by_zone) == [0]
+        assert sum(sweep.errors_by_zone[0].values()) == 1
 
 
 class TestRunnerResetFailure:
