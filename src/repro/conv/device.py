@@ -61,7 +61,12 @@ class ConvDevice(DeviceCore):
         faults=None,
         telemetry=None,
     ):
-        self.ftl = PageMappedFtl(profile.geometry, profile.overprovision)
+        #: Factory spares per die for bad-block remapping — reserved only
+        #: when the plan can actually fail erases, so fault-free (and
+        #: erase-fault-free) runs keep the exact historical block pools.
+        spares = 2 if faults is not None and faults.erase_faults_enabled else 0
+        self.ftl = PageMappedFtl(profile.geometry, profile.overprovision,
+                                 spare_blocks_per_die=spares)
         # Round the namespace down to a whole number of logical pages.
         logical_bytes = self.ftl.logical_pages * profile.geometry.page_size
         super().__init__(
@@ -119,9 +124,38 @@ class ConvDevice(DeviceCore):
     def _telemetry_levels(self) -> dict:
         levels = super()._telemetry_levels()
         levels["ftl.free_frac"] = round(self.ftl.free_fraction, 6)
+        levels["ftl.bad_blocks"] = len(self.ftl.bad_blocks)
         levels["gc.running"] = 1 if self._gc_running else 0
         levels["gc.inflight_blocks"] = len(self._gc_inflight_blocks)
         return levels
+
+    def age(self, epochs: int, churn_erases: int = 4) -> int:
+        """Fast-forward ``epochs`` "days" of GC/write churn as wear.
+
+        The conventional-FTL counterpart of :meth:`ZnsDevice.age`: every
+        erase block gains 1..2×``churn_erases`` cycles per epoch, drawn
+        deterministically from the ``"aging"`` stream, so wear-curve
+        failure rates (and eventually bad-block remaps) start from an
+        aged baseline. A no-op when no fault plan is armed. Returns 0
+        (conv blocks retire through GC erase failures, not thresholds).
+        """
+        if epochs <= 0 or self.faults is None:
+            return 0
+        injector = self.faults
+        rng = self._streams.stream("aging")
+        blocks = self.ftl.blocks
+        wears = [injector.wear.unit(block.block_id) for block in blocks]
+        for _ in range(epochs):
+            erases = rng.integers(
+                1, 2 * churn_erases + 1, size=len(blocks)
+            ).tolist()
+            for wear, count in zip(wears, erases):
+                wear.erase_count += count
+                wear.reads_since_erase = 0
+        high = max(wear.erase_count for wear in wears)
+        if high > injector.max_erase_count.value:
+            injector.max_erase_count.set(high)
+        return 0
 
     def _require_reformattable(self) -> None:
         if self._gc_running or self.buffer.level:
@@ -194,19 +228,33 @@ class ConvDevice(DeviceCore):
         lookup = self.ftl.lookup
         die_of = self.ftl.die_of_physical
         read_page = self.backend.read_page
-        fault_out = [] if self.backend.faults is not None else None
+        injector = self.backend.faults
+        fault_out = [] if injector is not None else None
+        pages_per_block = self.ftl.pages_per_block
+        remapped_blocks = self.ftl.remapped_blocks
+        remapped = 0
         reads = []
         for logical in range(start_page, start_page + n_pages):
             physical = lookup(logical)
             if physical is None:
                 continue  # unwritten data: served from the map, no NAND
+            wear = None
+            if injector is not None:
+                block_id = physical // pages_per_block
+                wear = injector.wear.unit(block_id)
+                if block_id in remapped_blocks:
+                    remapped += 1
             reads.append(
                 sim.process(
                     read_page(die_of(physical), priority=PRIO_IO,
                               transfer_bytes=take, cid=cid,
-                              fault_out=fault_out)
+                              fault_out=fault_out, wear=wear)
                 )
             )
+        if remapped:
+            # Remap-table indirection: pages on promoted spares pay an
+            # extra firmware lookup before the NAND ops are issued.
+            yield sim.timeout(remapped * injector.plan.bad_block_remap_ns)
         if len(reads) == 1:
             yield reads[0]
         elif reads:
@@ -272,9 +320,17 @@ class ConvDevice(DeviceCore):
                 # the mechanism behind Fig. 6a's throughput collapses.
                 self._maybe_wake_gc()
                 yield self._space_freed
-        yield from self._flush_page_to_die(
-            self.ftl.die_of_physical(physical), cancel=token
+        wear = None
+        if self.backend.faults is not None:
+            block_id = physical // self.ftl.pages_per_block
+            wear = self.faults.wear.unit(block_id)
+            if block_id in self.ftl.remapped_blocks:
+                yield self.sim.timeout(self.faults.plan.bad_block_remap_ns)
+        failures = yield from self._flush_page_to_die(
+            self.ftl.die_of_physical(physical), cancel=token, wear=wear
         )
+        if wear is not None and failures > 0:
+            wear.program_failures += failures
         if token is not None:
             try:
                 self._pending_flushes.remove(token)
@@ -394,20 +450,36 @@ class ConvDevice(DeviceCore):
                 yield self.sim.all_of(copies)
                 self.gc_stats.pages_copied += len(copies)
                 self._gc_copy_counter.inc(len(copies))
-            yield self.sim.process(
+            wear = (self.backend.faults.wear.unit(victim.block_id)
+                    if self.backend.faults is not None else None)
+            bad = yield self.sim.process(
                 self.backend.erase_block(
-                    victim.die, priority=self.gc_priority, label="gc.erase"
+                    victim.die, priority=self.gc_priority, label="gc.erase",
+                    wear=wear
                 )
             )
-            self.ftl.erase(victim)
-            self.gc_stats.victims_erased += 1
-            self._gc_victim_counter.inc()
+            freed = True
+            if bad:
+                # Erase retries exhausted: retire the block and promote a
+                # factory spare (later accesses to the spare pay the
+                # remap indirection). An empty spare pool just shrinks
+                # the die.
+                spare = self.ftl.retire_block(victim)
+                if spare is not None:
+                    self.faults.bad_blocks_remapped.inc()
+                else:
+                    freed = False
+            else:
+                self.ftl.erase(victim)
+                self.gc_stats.victims_erased += 1
+                self._gc_victim_counter.inc()
             if self.tracer.enabled:
                 self.tracer.span("gc", "gc.victim", started, self.sim.now,
                                  track="gc", die=victim.die,
                                  pages_copied=len(copies))
-            self._space_freed.succeed()
-            self._space_freed = self.sim.event()
+            if freed:
+                self._space_freed.succeed()
+                self._space_freed = self.sim.event()
         finally:
             self._gc_inflight_blocks.discard(victim.block_id)
 

@@ -57,7 +57,8 @@ class Block:
 class PageMappedFtl:
     """Logical→physical page mapping with per-die block pools."""
 
-    def __init__(self, geometry: FlashGeometry, overprovision: float = 0.07):
+    def __init__(self, geometry: FlashGeometry, overprovision: float = 0.07,
+                 spare_blocks_per_die: int = 0):
         if not 0 <= overprovision < 1:
             raise ValueError(f"overprovision must be in [0, 1), got {overprovision}")
         self.geometry = geometry
@@ -68,17 +69,33 @@ class PageMappedFtl:
             raise ValueError("geometry too small for any logical capacity")
         self._l2p: dict[int, int] = {}
         blocks_per_die = geometry.planes_per_die * geometry.blocks_per_plane
+        if not 0 <= spare_blocks_per_die < blocks_per_die:
+            raise ValueError(
+                f"spare_blocks_per_die must be in [0, {blocks_per_die}), "
+                f"got {spare_blocks_per_die}")
         self.blocks: list[Block] = []
         self._free: list[deque[int]] = [deque() for _ in range(geometry.total_dies)]
+        #: Bad-block management (DESIGN.md §17): factory spares held out
+        #: of circulation until an erase failure retires a block, plus
+        #: the retired set and the replacement blocks promoted from the
+        #: spare pool (accesses to those pay the remap indirection).
+        self._spare: list[deque[int]] = [deque() for _ in range(geometry.total_dies)]
+        self.bad_blocks: set[int] = set()
+        self.remapped_blocks: set[int] = set()
         for die in range(geometry.total_dies):
             for b in range(blocks_per_die):
                 block_id = die * blocks_per_die + b
                 self.blocks.append(Block(block_id, die, self.pages_per_block))
-                self._free[die].append(block_id)
+                if b >= blocks_per_die - spare_blocks_per_die:
+                    self._spare[die].append(block_id)
+                else:
+                    self._free[die].append(block_id)
         self._user_active: list[Optional[Block]] = [None] * geometry.total_dies
         self._gc_active: list[Optional[Block]] = [None] * geometry.total_dies
         self._die_cursor = 0
-        self.free_block_count = geometry.total_blocks
+        self.free_block_count = (
+            geometry.total_blocks - spare_blocks_per_die * geometry.total_dies
+        )
         self.total_user_pages_written = 0
         self.total_gc_pages_copied = 0
 
@@ -105,6 +122,17 @@ class PageMappedFtl:
 
     def die_of_physical(self, physical_page: int) -> int:
         return self.blocks[physical_page // self.pages_per_block].die
+
+    def block_of_physical(self, physical_page: int) -> int:
+        return physical_page // self.pages_per_block
+
+    def is_remapped(self, physical_page: int) -> bool:
+        """True if the page lives on a spare promoted after a bad block
+        (accesses pay the firmware's remap-table indirection)."""
+        return physical_page // self.pages_per_block in self.remapped_blocks
+
+    def spare_blocks_left(self, die: int) -> int:
+        return len(self._spare[die])
 
     # -- writes --------------------------------------------------------------
     def commit_write(self, logical_page: int, reserve: int = 0) -> int:
@@ -157,6 +185,8 @@ class PageMappedFtl:
         for block in self.blocks:
             if block.block_id in active or not block.is_full:
                 continue
+            if block.block_id in self.bad_blocks:
+                continue
             if block.garbage_pages() == 0 and block.valid_count > 0:
                 # Fully valid blocks yield nothing; skip unless no choice.
                 continue
@@ -194,6 +224,33 @@ class PageMappedFtl:
         victim.write_slot = 0
         self._free[victim.die].append(victim.block_id)
         self.free_block_count += 1
+
+    def retire_block(self, victim: Block) -> Optional[Block]:
+        """Bad-block management: pull a failed-erase victim out of
+        circulation and promote a factory spare in its place.
+
+        The victim must be collected (no valid pages). Returns the
+        promoted spare ``Block`` — flagged in ``remapped_blocks`` so the
+        device charges the remap-table indirection on later accesses —
+        or ``None`` when the die's spare pool is exhausted (the die
+        simply shrinks: one fewer block in rotation).
+        """
+        if victim.valid_count != 0:
+            raise ValueError(
+                f"retiring block {victim.block_id} with "
+                f"{victim.valid_count} valid pages"
+            )
+        self.bad_blocks.add(victim.block_id)
+        victim.slot_to_logical = [-1] * self.pages_per_block
+        victim.write_slot = self.pages_per_block  # full forever: never allocated
+        spares = self._spare[victim.die]
+        if not spares:
+            return None
+        spare_id = spares.popleft()
+        self.remapped_blocks.add(spare_id)
+        self._free[victim.die].append(spare_id)
+        self.free_block_count += 1
+        return self.blocks[spare_id]
 
     # -- internals ----------------------------------------------------------
     def _check_logical(self, logical_page: int) -> None:

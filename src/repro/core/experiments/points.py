@@ -187,6 +187,7 @@ def experiment_plans(auxiliary: bool = False) -> dict[str, ExperimentPlan]:
         ABLATION_GEOMETRY_PLAN,
         ABLATION_ZONE_SIZE_PLAN,
     )
+    from .aging import FIG8_AGING_PLAN
     from .fleet import FIG7_FLEET_PLAN
     from .io_interference import FIG6_PLAN, FIG6_RATES_PLAN, OBS11_PLAN
     from .lba_format import FIG2A_PLAN, FIG2B_PLAN
@@ -211,6 +212,7 @@ def experiment_plans(auxiliary: bool = False) -> dict[str, ExperimentPlan]:
         FIG7_PLAN,
         FIG7_FLEET_PLAN,
         FIG8_PLAN,
+        FIG8_AGING_PLAN,
         FIG6_RATES_PLAN,
         ABLATION_BUFFER_PLAN,
         ABLATION_APPEND_COST_PLAN,

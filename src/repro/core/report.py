@@ -23,6 +23,7 @@ def _runners() -> dict[str, Callable]:
         run_ablation_geometry,
         run_ablation_zone_size,
     )
+    from .experiments.aging import run_fig8_aging
     from .experiments.fleet import run_fig7_fleet
     from .experiments.io_interference import (
         run_fig6,
@@ -55,6 +56,7 @@ def _runners() -> dict[str, Callable]:
         "fig7": run_fig7,
         "fig7_fleet": run_fig7_fleet,
         "fig8": run_fig8,
+        "fig8_aging": run_fig8_aging,
         "fig6rates": run_fig6_rate_sweep,
         "ablation-buffer": run_ablation_buffer,
         "ablation-append-cost": run_ablation_append_cost,

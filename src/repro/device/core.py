@@ -127,6 +127,9 @@ class DeviceCore:
     ):
         self.sim = sim
         self.profile = profile
+        #: Retained for fault-adjacent streams created after construction
+        #: (the ``"aging"`` stream behind :meth:`age`, DESIGN.md §17).
+        self._streams = streams
         self.tracer = resolve_tracer(tracer)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: True when the caller asked for observability. Hot paths gate
@@ -280,15 +283,17 @@ class DeviceCore:
                              self.sim.now, track="controller", cid=cid)
 
     # -------------------------------------------------------------- flushing
-    def _flush_page_to_die(self, die: int, cancel: list | None = None) -> Generator:
+    def _flush_page_to_die(self, die: int, cancel: list | None = None,
+                           wear=None) -> Generator:
         """Program one buffered page to a die, then drain the buffer.
 
         Returns the backend's injected-program-failure count, or ``-1``
         when a power cut cancelled the page before it reached the media
-        (the power-cut handler already drained its bytes).
+        (the power-cut handler already drained its bytes). ``wear`` is
+        the touched unit's odometer for wear-dependent failure rates.
         """
         failures = yield from self.backend.program_page(
-            die, priority=PRIO_IO, label="flush", cancel=cancel)
+            die, priority=PRIO_IO, label="flush", cancel=cancel, wear=wear)
         if failures < 0:
             return failures
         yield self.buffer.get(self._page_size)

@@ -1,4 +1,4 @@
-"""Deterministic fault injection and recovery (DESIGN.md §12)."""
+"""Deterministic fault injection and recovery (DESIGN.md §12, §17)."""
 
 from .plan import (
     FAULT_PRESETS,
@@ -9,6 +9,7 @@ from .plan import (
     describe_presets,
     resolve,
 )
+from .wear import UnitWear, WearCurve, WearTracker
 
 __all__ = [
     "FAULT_PRESETS",
@@ -16,6 +17,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "UnitWear",
+    "WearCurve",
+    "WearTracker",
     "describe_presets",
     "resolve",
 ]

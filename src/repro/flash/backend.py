@@ -137,7 +137,8 @@ class FlashBackend:
     def read_page(self, die_index: int, priority: int = 0,
                   transfer_bytes: int | None = None,
                   cid: int = 0, label: str = "read",
-                  fault_out: list | None = None) -> Generator:
+                  fault_out: list | None = None,
+                  wear=None) -> Generator:
         """NAND page read: sense on the die, then stream out on the bus.
 
         ``transfer_bytes`` limits the bus transfer to the requested slice
@@ -149,6 +150,9 @@ class FlashBackend:
         firmware retry ladder (extra die-held latency per retry); if the
         ladder exhausts, the die index is appended to ``fault_out`` so
         the caller can fail the command with ``MEDIA_UNRECOVERED_READ``.
+        ``wear`` is the touched unit's :class:`~repro.faults.wear.UnitWear`
+        (zone or block odometer): it selects the wear-dependent disturb
+        probability and accumulates read exposure (DESIGN.md §17).
         """
         die = self.dies[die_index]
         traced = self.tracer.enabled
@@ -162,7 +166,7 @@ class FlashBackend:
         yield self.sim.timeout(self.timing.read_ns)
         busy_ns = self.timing.read_ns
         if self.faults is not None:
-            retries, uncorrectable = self.faults.read_outcome()
+            retries, uncorrectable = self.faults.read_outcome(wear)
             if retries:
                 step = self.faults.plan.read_retry_step_ns or self.timing.read_ns
                 yield self.sim.timeout(retries * step)
@@ -240,7 +244,8 @@ class FlashBackend:
 
     def program_page(self, die_index: int, priority: int = 0,
                      cid: int = 0, label: str = "program",
-                     cancel: list | None = None) -> Generator:
+                     cancel: list | None = None,
+                     wear=None) -> Generator:
         """NAND page program: stream in on the bus, then program the die.
 
         Returns the number of injected program failures absorbed by the
@@ -273,7 +278,7 @@ class FlashBackend:
         busy_ns = self.timing.program_ns
         failures = 0
         if self.faults is not None:
-            failures = self.faults.program_outcome()
+            failures = self.faults.program_outcome(wear)
             if failures:
                 extra = failures * self.timing.program_ns
                 yield self.sim.timeout(extra)
@@ -289,8 +294,14 @@ class FlashBackend:
         return failures
 
     def erase_block(self, die_index: int, priority: int = 0,
-                    cid: int = 0, label: str = "erase") -> Generator:
-        """NAND block erase: occupies the die for the (long) erase time."""
+                    cid: int = 0, label: str = "erase",
+                    wear=None) -> Generator:
+        """NAND block erase: occupies the die for the (long) erase time.
+
+        Returns ``True`` if the erase exhausted its retry budget and the
+        block went bad. A *successful* erase bumps the unit's wear
+        odometer (erase count up, read exposure reset).
+        """
         die = self.dies[die_index]
         traced = self.tracer.enabled
         req = die.request(priority)
@@ -300,11 +311,13 @@ class FlashBackend:
         busy_ns = self.timing.erase_ns
         bad_block = False
         if self.faults is not None:
-            retries, bad_block = self.faults.erase_outcome()
+            retries, bad_block = self.faults.erase_outcome(wear)
             if retries:
                 extra = retries * self.timing.erase_ns
                 yield self.sim.timeout(extra)
                 busy_ns += extra
+            if not bad_block and wear is not None:
+                self.faults.note_erase(wear)
         self._die_busy_ns[die_index] += busy_ns
         if self._op_counters is not None:
             self._publish("erase", die_index)

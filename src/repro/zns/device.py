@@ -108,10 +108,10 @@ class ZnsDevice(DeviceCore):
         self._zone_page_cursor: dict[int, int] = {}
         #: Fault-mode bookkeeping (unused — and unallocated per zone —
         #: when ``self.faults is None``): power-loss cancellation tokens
-        #: for spawned-but-uncommitted page flushes, and cumulative
-        #: injected program failures driving zone retirement.
+        #: for spawned-but-uncommitted page flushes. Per-zone wear
+        #: odometers (erase counts, cumulative program failures, read
+        #: exposure) live on ``self.faults.wear`` (DESIGN.md §17).
         self._zone_pending: dict[int, list] = {}
-        self._zone_program_failures: dict[int, int] = {}
         #: Cumulative firmware mapping-update work generated by I/O; see
         #: the priority note in the module docstring.
         self._fw_debt_ns = 0
@@ -193,12 +193,17 @@ class ZnsDevice(DeviceCore):
         instead of replaying their fill sequences.
         """
         self._require_quiescent("state_snapshot")
-        return {
+        snapshot = {
             "zones": self.zones.state_snapshot(),
             "residual": dict(self._zone_residual),
             "page_cursor": dict(self._zone_page_cursor),
             "fw_debt_ns": self._fw_debt_ns,
         }
+        if self.faults is not None:
+            # Wear odometers age coherently across multi-point plans:
+            # rewinding the device rewinds its lifetime too (§17).
+            snapshot["wear"] = self.faults.wear.snapshot()
+        return snapshot
 
     def restore_state(self, snapshot: dict) -> None:
         """Reinstate a :meth:`state_snapshot` image (quiescent device only)."""
@@ -207,6 +212,8 @@ class ZnsDevice(DeviceCore):
         self._zone_residual = dict(snapshot["residual"])
         self._zone_page_cursor = dict(snapshot["page_cursor"])
         self._fw_debt_ns = snapshot["fw_debt_ns"]
+        if self.faults is not None and "wear" in snapshot:
+            self.faults.wear.restore(snapshot["wear"])
         # At quiescence the buffered bytes are exactly the stable
         # sub-page residuals; reinstate the snapshot's.
         self.buffer.force_level(sum(self._zone_residual.values()))
@@ -247,6 +254,49 @@ class ZnsDevice(DeviceCore):
         self.buffer.force_level(0)
         if self.observing:
             self._wbuf_gauge.set(0)
+
+    def age(self, epochs: int, churn_erases: int = 4) -> int:
+        """Fast-forward ``epochs`` "days" of wear without simulating them.
+
+        Each epoch replays one day of reset/write churn deterministically
+        from the dedicated ``"aging"`` RNG stream: every zone gains
+        1..2×``churn_erases`` erase cycles (uneven by design — real fleets
+        don't wear uniformly) and its read-disturb exposure resets, as an
+        erase would in-run. Only the *erase odometer* carries over —
+        scattered program failures during background churn are transient
+        (the firmware already handled them), so they do not feed the
+        in-run failure-retirement ladder. Erase-count retirement
+        thresholds apply exactly as they would in-run, so a heavily aged
+        device boots with some zones already READ_ONLY/OFFLINE. A no-op
+        (zero draws, zero state change) when no fault plan is armed, so
+        fault-free output stays byte-identical. Returns the number of
+        zones retired by the call.
+
+        Draw counts are fixed per epoch (one vector draw) and
+        independent of zone state, so aging is bit-reproducible per
+        (seed, salt, epochs) at any ``--jobs`` (DESIGN.md §17).
+        """
+        if epochs <= 0 or self.faults is None:
+            return 0
+        injector = self.faults
+        rng = self._streams.stream("aging")
+        zones = self.zones.zones
+        wears = [injector.wear.unit(zone.index) for zone in zones]
+        retired = 0
+        for _ in range(epochs):
+            erases = rng.integers(
+                1, 2 * churn_erases + 1, size=len(zones)
+            ).tolist()
+            for wear, count in zip(wears, erases):
+                wear.erase_count += count
+                wear.reads_since_erase = 0
+        high = max(wear.erase_count for wear in wears)
+        if high > injector.max_erase_count.value:
+            injector.max_erase_count.set(high)
+        for zone, wear in zip(zones, wears):
+            if self._apply_wear_retirement(zone, wear):
+                retired += 1
+        return retired
 
     def inject_zone_failure(self, zone_index: int, state: ZoneState) -> None:
         """Failure injection: mark a zone READ_ONLY or OFFLINE.
@@ -291,6 +341,10 @@ class ZnsDevice(DeviceCore):
             census[key] = census.get(key, 0) + 1
         for state, count in census.items():
             levels[f"zones.{state}"] = count
+        levels["zones.retired"] = (
+            census.get(ZoneState.READ_ONLY.value, 0)
+            + census.get(ZoneState.OFFLINE.value, 0)
+        )
         levels["fw.debt_ns"] = self._fw_debt_ns
         return levels
 
@@ -344,18 +398,23 @@ class ZnsDevice(DeviceCore):
         nand_started = self.sim.now if self.tracer.enabled else 0
         sim = self.sim
         read_page = self.backend.read_page
-        fault_out = [] if self.backend.faults is not None else None
+        if self.backend.faults is not None:
+            fault_out = []
+            wear = self.backend.faults.wear.unit(zone.index)
+        else:
+            fault_out = None
+            wear = None
         if len(spans) == 1:
             die, take = spans[0]
             yield sim.process(
                 read_page(die, priority=PRIO_IO, transfer_bytes=take, cid=cid,
-                          fault_out=fault_out)
+                          fault_out=fault_out, wear=wear)
             )
         else:
             yield sim.all_of([
                 sim.process(
                     read_page(die, priority=PRIO_IO, transfer_bytes=take,
-                              cid=cid, fault_out=fault_out)
+                              cid=cid, fault_out=fault_out, wear=wear)
                 )
                 for die, take in spans
             ])
@@ -601,31 +660,49 @@ class ZnsDevice(DeviceCore):
     def _flush_zone_page(self, zone_index: int, die: int,
                          token: list) -> Generator:
         """Fault-aware page flush: cancellable, failure-attributed."""
-        failures = yield from self._flush_page_to_die(die, cancel=token)
+        wear = (self.faults.wear.unit(zone_index)
+                if self.backend.faults is not None else None)
+        failures = yield from self._flush_page_to_die(die, cancel=token,
+                                                      wear=wear)
         pending = self._zone_pending.get(zone_index)
         if pending is not None:
             try:
                 pending.remove(token)
             except ValueError:
                 pass
-        if failures > 0:
-            self._note_program_failures(zone_index, failures)
+        if failures > 0 and wear is not None:
+            wear.program_failures += failures
+            self._apply_wear_retirement(self.zones.zones[zone_index], wear)
 
-    def _note_program_failures(self, zone_index: int, count: int) -> None:
-        """Firmware wear accounting: retire a failing zone per the plan."""
-        total = self._zone_program_failures.get(zone_index, 0) + count
-        self._zone_program_failures[zone_index] = total
+    def _apply_wear_retirement(self, zone: Zone, wear) -> bool:
+        """Firmware wear accounting: retire a worn zone per the plan.
+
+        Retirement triggers on either ledger — cumulative program
+        failures (``retire_*_after``) or erase count (``retire_*_erases``)
+        — whichever threshold the zone crosses first. Returns True if
+        the zone's state changed.
+        """
         plan = self.faults.plan
-        zone = self.zones.zones[zone_index]
-        if (plan.retire_offline_after and total >= plan.retire_offline_after
-                and zone.state is not ZoneState.OFFLINE):
+        state = zone.state
+        if state is ZoneState.OFFLINE:
+            return False
+        if ((plan.retire_offline_after
+                and wear.program_failures >= plan.retire_offline_after)
+                or (plan.retire_offline_erases
+                    and wear.erase_count >= plan.retire_offline_erases)):
             self.zones.retire(zone, ZoneState.OFFLINE)
             self.faults.zones_offlined.inc()
-        elif (plan.retire_read_only_after
-                and total >= plan.retire_read_only_after
-                and zone.state not in (ZoneState.READ_ONLY, ZoneState.OFFLINE)):
+            return True
+        if state is ZoneState.READ_ONLY:
+            return False
+        if ((plan.retire_read_only_after
+                and wear.program_failures >= plan.retire_read_only_after)
+                or (plan.retire_read_only_erases
+                    and wear.erase_count >= plan.retire_read_only_erases)):
             self.zones.retire(zone, ZoneState.READ_ONLY)
             self.faults.zones_read_only.inc()
+            return True
+        return False
 
     # ------------------------------------------------------------ power loss
     def _power_loss_drop(self, target: int) -> tuple[int, int]:
@@ -782,6 +859,29 @@ class ZnsDevice(DeviceCore):
         try:
             yield from self._mgmt_work(work, self.profile.reset_chunk_ns,
                                        "reset", cid)
+            if self.faults is not None:
+                injector = self.faults
+                wear = injector.wear.unit(zone.index)
+                # A reset erases the zone's stripe: the erase can retry
+                # (extra die-held time folded into the reset latency) or
+                # exhaust its budget, in which case the firmware retires
+                # the zone OFFLINE instead of recycling it. Failure odds
+                # follow the zone's erase-count curve (DESIGN.md §17).
+                retries, bad = injector.erase_outcome(wear)
+                if retries:
+                    yield self.sim.timeout(retries * self.profile.nand.erase_ns)
+                if bad:
+                    self.zones.retire(zone, ZoneState.OFFLINE)
+                    injector.zones_offlined.inc()
+                    self._drop_residual(zone.index)
+                    return self._complete(command, Status.SUCCESS, cid=cid)
+                injector.note_erase(wear)
+                self.zones.reset(zone)
+                self._drop_residual(zone.index)
+                # Heavily cycled zones retire on erase count alone, even
+                # before programs start failing.
+                self._apply_wear_retirement(zone, wear)
+                return self._complete(command, Status.SUCCESS, cid=cid)
         finally:
             self._mgmt_busy.discard(zone.index)
         self.zones.reset(zone)

@@ -178,6 +178,50 @@ class TestResetStorm:
         assert tenant.resets > 0
 
 
+class TestRetirementUnderTenancy:
+    """Wear retirement mid-run lands in the owning tenant's accounting
+    (DESIGN.md §17) and retired zones drop out of the reclaim loop."""
+
+    def _retiring_plan(self):
+        from repro.faults import FaultPlan
+
+        # Every page program fails once; two failures retire the zone.
+        return FaultPlan(name="retiring", program_fail_prob=1.0,
+                         program_retry_max=1, retire_read_only_after=2,
+                         retire_offline_after=4)
+
+    def test_mid_run_retirement_attributed_to_tenant(self):
+        sim, dev = make_device(faults=self._retiring_plan())
+        scheduler = TenantScheduler(dev)
+        tenant = Tenant(dev, "log", zones=[0, 1], seed=7)
+        scheduler.add_workload(
+            tenant, ResetStorm(tenant, until_ns=ms(8), refill="write"))
+        results = scheduler.run()
+
+        retired = [z for z in dev.zones.zones[:2]
+                   if z.state in (ZoneState.READ_ONLY, ZoneState.OFFLINE)]
+        assert retired, "program failures should have retired a zone"
+        row = results[0]
+        assert sum(row.errors.values()) > 0
+        # Per-zone attribution names the retired zone, and the owner
+        # roll-up resolves it back to this tenant.
+        assert any(z.index in row.errors_by_zone for z in retired)
+        assert row.errors_by_owner.get("log", 0) > 0
+
+    def test_offline_zone_never_reissued(self):
+        sim, dev = make_device(faults=self._retiring_plan())
+        dev.inject_zone_failure(1, ZoneState.OFFLINE)
+        scheduler = TenantScheduler(dev)
+        tenant = Tenant(dev, "log", zones=[0, 1], seed=7)
+        scheduler.add_workload(
+            tenant, ResetStorm(tenant, until_ns=ms(6), refill="write"))
+        results = scheduler.run()
+        # The storm worked zone 0 but never touched the OFFLINE zone —
+        # no appends, no resets, so no errors attributed to it.
+        assert 1 not in results[0].errors_by_zone
+        assert dev.zones.zones[1].state is ZoneState.OFFLINE
+
+
 class TestLsmWorkload:
     def lsm_once(self, seed: int, faults=None):
         from repro.faults import resolve
